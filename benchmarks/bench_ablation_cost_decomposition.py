@@ -1,0 +1,50 @@
+"""Ablation: where does the indexing cost go? (cRtn vs cUpd, Eq. 8-10).
+
+DESIGN.md calls out the paper's claim that routing-table maintenance
+dominates update dissemination in the news scenario. This bench prints the
+decomposition across the query-frequency sweep and across update
+frequencies, showing where that claim would flip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from benchmarks.conftest import emit
+from repro.analysis.costs import CostModel
+from repro.analysis.parameters import ScenarioParameters
+from repro.experiments.reporting import format_table
+
+
+def test_cost_decomposition(benchmark):
+    def run():
+        params = ScenarioParameters.paper_scenario()
+        rows = []
+        # Sweep the update frequency from the paper's once-a-day to once a
+        # minute; cRtn is update-independent, cUpd grows linearly.
+        for label, update_freq in [
+            ("1/day (paper)", 1 / 86_400),
+            ("1/hour", 1 / 3_600),
+            ("1/minute", 1 / 60),
+        ]:
+            scenario = replace(params, update_freq=update_freq)
+            model = CostModel.full_index(scenario)
+            rows.append(
+                (
+                    label,
+                    f"{model.routing_maintenance:.4f}",
+                    f"{model.update:.4f}",
+                    f"{model.routing_maintenance / model.index_key:.0%}",
+                )
+            )
+        return rows
+
+    rows = benchmark(run)
+    emit(
+        "Ablation - cIndKey decomposition (full index, per key per second)",
+        format_table(["update freq", "cRtn", "cUpd", "cRtn share"], rows),
+    )
+    # Paper scenario: cRtn dominates.
+    assert float(rows[0][1]) > 100 * float(rows[0][2])
+    # By once-a-minute updates, cUpd takes over.
+    assert float(rows[2][2]) > float(rows[2][1])

@@ -1,0 +1,34 @@
+"""Section 5.2: adaptivity to a changing query distribution.
+
+Runs the selection algorithm through a mid-run reshuffle of the rank->key
+mapping. Expected: the index hit rate collapses at the shift and recovers
+within a few TTL horizons (the paper's 'adapts to changing query
+distributions').
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import adaptivity_experiment
+from repro.experiments.scenario import simulation_scenario
+
+
+def test_adaptivity_under_shift(once):
+    params = simulation_scenario(scale=0.05, query_freq=1.0 / 15.0)
+    fig = once(
+        adaptivity_experiment,
+        params=params,
+        duration=1000.0,
+        shift_at=500.0,
+        window=100.0,
+        seed=4,
+    )
+    emit(fig.name, fig.render())
+    rates = fig.series_of("hit rate")
+    times = [float(t) for t in fig.x_values]
+    pre = [r for t, r in zip(times, rates) if t <= 500.0]
+    post_shift = [r for t, r in zip(times, rates) if 500.0 < t <= 700.0]
+    recovered = [r for t, r in zip(times, rates) if t > 800.0]
+    assert max(pre) > 0.4, "index never warmed up before the shift"
+    assert min(post_shift) < max(pre), "shift did not dent the hit rate"
+    assert max(recovered) > min(post_shift), "no recovery after the shift"

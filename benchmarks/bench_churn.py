@@ -1,0 +1,35 @@
+"""Extension: the selection algorithm under churn.
+
+Expected: query success stays near the replica-availability bound
+1-(1-a)^repl (~1.0 for repl = 50 at any plotted availability), the hit
+rate degrades only mildly, and the message rate grows as the overlay
+thins — dramatically once the online subgraph approaches its percolation
+threshold (degree 4 at 50% availability leaves effective degree ~2).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import churn_experiment
+from repro.experiments.scenario import simulation_scenario
+
+
+def test_selection_under_churn(once):
+    params = simulation_scenario(scale=0.05)
+    fig = once(
+        churn_experiment,
+        params=params,
+        duration=180.0,
+        seed=1,
+        availabilities=(1.0, 0.75, 0.5),
+    )
+    emit(fig.name, fig.render())
+    success = fig.series_of("success rate")
+    hits = fig.series_of("hit rate")
+    cost = fig.series_of("msg/s")
+    # Replication 50 keeps content findable at every tested availability.
+    assert all(s > 0.95 for s in success)
+    # Hit rate degrades gracefully, not catastrophically.
+    assert hits[-1] > hits[0] - 0.2
+    # Churn is never free: message rate grows as availability falls.
+    assert cost[-1] > cost[0]

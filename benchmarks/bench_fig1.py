@@ -1,0 +1,22 @@
+"""Fig. 1: total cost [msg/s] of indexAll / noIndex / ideal partial.
+
+Expected shape (paper): noIndex grows linearly with query frequency and
+dominates at busy rates; indexAll is nearly flat (maintenance-dominated)
+and dominates at calm rates; partial sits below both everywhere.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import figure1
+
+
+def test_fig1(benchmark):
+    fig = benchmark(figure1)
+    emit(fig.name, fig.render())
+    partial = fig.series_of("partial")
+    index_all = fig.series_of("indexAll")
+    no_index = fig.series_of("noIndex")
+    assert all(p < a and p < n for p, a, n in zip(partial, index_all, no_index))
+    benchmark.extra_info["partial_at_1_30"] = partial[0]
+    benchmark.extra_info["noIndex_at_1_30"] = no_index[0]

@@ -1,0 +1,21 @@
+"""Fig. 2: savings of ideal partial indexing vs both baselines.
+
+Expected shape (paper): vs-noIndex savings are largest at busy rates
+(~0.95) and decline towards the calm end; vs-indexAll savings climb from
+~0.1 to ~1.0 as queries get rarer; the curves cross mid-sweep.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import figure2
+
+
+def test_fig2(benchmark):
+    fig = benchmark(figure2)
+    emit(fig.name, fig.render())
+    vs_all = fig.series_of("vs indexAll")
+    vs_no = fig.series_of("vs noIndex")
+    assert all(0 < s <= 1 for s in vs_all + vs_no)
+    assert vs_no[0] > vs_no[-1]
+    assert vs_all[0] < vs_all[-1]

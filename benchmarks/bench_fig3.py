@@ -1,0 +1,21 @@
+"""Fig. 3: indexed fraction and index hit probability (pIndxd).
+
+Expected shape (paper): both series shrink as queries get rarer, but
+pIndxd stays far above the index-size fraction — the Zipf head means a
+small index still answers most queries.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import figure3
+
+
+def test_fig3(benchmark):
+    fig = benchmark(figure3)
+    emit(fig.name, fig.render())
+    fractions = fig.series_of("index size")
+    p_indexed = fig.series_of("pIndxd")
+    assert all(f > g for f, g in zip(fractions, fractions[1:]))
+    assert all(p > f for p, f in zip(p_indexed, fractions))
+    assert min(p_indexed) > 0.8

@@ -1,0 +1,27 @@
+"""Fig. 4: savings of the TTL selection algorithm (keyTtl = 1/fMin).
+
+Expected shape (paper): clearly below the ideal savings of Fig. 2; still
+positive against noIndex everywhere; against indexAll the algorithm loses
+at very high query frequencies (negative savings, off the paper's plot)
+and wins decisively at calm ones.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import figure2, figure4
+
+
+def test_fig4(benchmark):
+    fig = benchmark(figure4)
+    emit(fig.name, fig.render())
+    vs_all = fig.series_of("vs indexAll")
+    vs_no = fig.series_of("vs noIndex")
+    assert vs_all[0] < 0 < vs_all[-1]
+    assert all(s > 0 for s in vs_no)
+    # Selection savings must trail the ideal savings of Fig. 2 pointwise.
+    ideal = figure2()
+    assert all(
+        s <= i + 1e-9
+        for s, i in zip(vs_no, ideal.series_of("vs noIndex"))
+    )

@@ -1,0 +1,18 @@
+"""Section 5.1.1: keyTtl estimation-error sensitivity.
+
+Expected (paper): 'an estimation error of +/-50% of the ideal keyTtl
+decreases the savings only slightly'.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import keyttl_sensitivity
+
+
+def test_keyttl_sensitivity(benchmark):
+    fig = benchmark(keyttl_sensitivity)
+    emit(fig.name, fig.render())
+    penalties = fig.series_of("cost penalty")
+    assert all(0.8 < p < 1.2 for p in penalties)
+    benchmark.extra_info["max_penalty"] = max(penalties)

@@ -1,0 +1,38 @@
+"""Fig. 1 regenerated end-to-end in simulation (reduced scale).
+
+The analytical bench (bench_fig1) evaluates Eq. 11-13; this one runs the
+actual strategies on the discrete-event substrate across the frequency
+sweep. Expected shape: noIndex linear in the query frequency, indexAll
+flat, partialIdeal below both at every point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import simulated_figure1
+from repro.experiments.scenario import simulation_scenario
+
+
+def test_simulated_fig1(once):
+    params = simulation_scenario(scale=0.02)
+    fig = once(
+        simulated_figure1,
+        params=params,
+        frequencies=(1 / 30, 1 / 120, 1 / 600, 1 / 1800),
+        duration=120.0,
+        seed=5,
+    )
+    emit(fig.name, fig.render())
+    ideal = fig.series_of("partialIdeal")
+    all_ = fig.series_of("indexAll")
+    none = fig.series_of("noIndex")
+    # Ideal partial below both baselines at every simulated frequency.
+    for i in range(len(ideal)):
+        assert ideal[i] < all_[i]
+        assert ideal[i] < none[i]
+    # noIndex scales ~linearly with frequency (1/30 vs 1/600 = 20x).
+    assert none[0] / none[2] == pytest.approx(20.0, rel=0.5)
+    # indexAll is maintenance-dominated and essentially flat.
+    assert max(all_) / min(all_) < 1.5

@@ -1,0 +1,23 @@
+"""Section 5.2: discrete-event simulation vs the analytical model.
+
+Runs all four strategies on a reduced-scale substrate (Table 1 / 20) and
+prints simulated vs modelled msg/s. Expected: ratios within a small factor
+and the same pairwise ordering wherever the model's gap is decisive.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import simulation_comparison
+from repro.experiments.scenario import simulation_scenario
+
+
+def test_simulation_vs_model(once):
+    params = simulation_scenario(scale=0.05)
+    fig = once(simulation_comparison, params=params, duration=240.0, seed=2)
+    emit(fig.name, fig.render())
+    ratios = fig.series_of("sim/model")
+    assert all(0.1 < r < 10.0 for r in ratios)
+    # partialIdeal must be the cheapest simulated strategy.
+    simulated = dict(zip(fig.x_values, fig.series_of("simulated [msg/s]")))
+    assert simulated["partialIdeal"] == min(simulated.values())

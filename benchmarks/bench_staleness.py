@@ -1,0 +1,32 @@
+"""Extension: index staleness without proactive updates.
+
+The selection algorithm drops Eq. 9's proactive updates; entries refresh
+only by expiring and being re-fetched. Because a query *resets* the TTL,
+hot keys' entries can survive arbitrarily many content refreshes —
+freshness and hit rate pull in opposite directions through keyTtl.
+Expected: stale-hit fraction and hit rate both increase with the TTL.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import staleness_experiment
+from repro.experiments.scenario import simulation_scenario
+
+
+def test_staleness_grows_with_ttl(once):
+    params = simulation_scenario(scale=0.02)
+    fig = once(
+        staleness_experiment,
+        params=params,
+        duration=300.0,
+        refresh_period=100.0,
+        seed=3,
+        ttl_factors=(0.25, 1.0, 4.0),
+    )
+    emit(fig.name, fig.render())
+    stale = fig.series_of("stale hit fraction")
+    hits = fig.series_of("hit rate")
+    assert stale[0] < stale[-1], "staleness should grow with the TTL"
+    assert hits[0] < hits[-1], "hit rate should grow with the TTL"
+    assert all(0.0 <= s <= 1.0 for s in stale)

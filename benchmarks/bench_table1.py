@@ -1,0 +1,11 @@
+"""Table 1: parameters of the sample scenario."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.tables import render_table1
+
+
+def test_table1(benchmark):
+    text = benchmark(render_table1)
+    emit("Table 1 - Parameters of the sample scenario", text)

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper. The timed
+quantity is the full data-generation path (model evaluation or simulation);
+the regenerated rows/series are printed so that
+``pytest benchmarks/ --benchmark-only -s`` (or the teed bench log) contains
+the same numbers EXPERIMENTS.md discusses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print a reproduced artifact under a stable banner."""
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under the benchmark timer.
+
+    Simulation benchmarks are too heavy for repeated timing rounds;
+    pedantic mode with one round keeps wall-clock sane while still
+    recording a measurement.
+    """
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

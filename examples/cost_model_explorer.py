@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Interactive-style exploration of the analytical cost model.
+
+Prints, for the exact Table-1 scenario of the paper:
+
+* the building-block costs (Eq. 6-10, 16) at the full-index operating
+  point;
+* the indexing threshold fMin / maxRank / pIndxd (Eq. 2, 4, 5) across the
+  query-frequency sweep;
+* the strategy costs and savings behind Figures 1-4;
+* where the indexAll/noIndex crossover falls, and how it moves when the
+  replication factor or the maintenance constant changes.
+
+Run with::
+
+    python examples/cost_model_explorer.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro import CostModel, ScenarioParameters, solve_threshold, sweep_frequencies
+from repro.experiments.reporting import format_period, format_series
+
+
+def building_blocks(params: ScenarioParameters) -> None:
+    model = CostModel.full_index(params)
+    print("building-block costs at the full-index operating point:")
+    print(f"  cSUnstr (Eq. 6)  = {model.search_unstructured:8.2f} msg/search")
+    print(f"  cSIndx  (Eq. 7)  = {model.search_index:8.2f} msg/lookup")
+    print(f"  cSIndx2 (Eq. 16) = {model.search_index_with_replicas:8.2f} msg/lookup")
+    print(f"  cRtn    (Eq. 8)  = {model.routing_maintenance:8.4f} msg/s per key")
+    print(f"  cUpd    (Eq. 9)  = {model.update:8.4f} msg/s per key")
+    print(f"  cIndKey (Eq. 10) = {model.index_key:8.4f} msg/s per key")
+    print()
+
+
+def threshold_sweep(params: ScenarioParameters) -> None:
+    print("indexing threshold across the query-frequency sweep:")
+    rows = {"fMin": [], "maxRank": [], "pIndxd": [], "keyTtl": []}
+    labels = []
+    for period in (30, 120, 600, 3600, 7200):
+        scenario = params.with_query_freq(1.0 / period)
+        threshold = solve_threshold(scenario)
+        labels.append(format_period(scenario.query_freq))
+        rows["fMin"].append(threshold.f_min)
+        rows["maxRank"].append(float(threshold.max_rank))
+        rows["pIndxd"].append(threshold.p_indexed)
+        rows["keyTtl"].append(threshold.key_ttl)
+    print(format_series("fQry", labels, rows))
+    print()
+
+
+def crossover_analysis(params: ScenarioParameters) -> None:
+    print("indexAll/noIndex crossover (the frequency above which a full")
+    print("index beats pure broadcast), as the environment changes:")
+    variants = {
+        "paper (repl=50, env=1/14)": params,
+        "sparser replicas (repl=25)": replace(params, replication=25),
+        "denser replicas (repl=100)": replace(params, replication=100),
+        "cheaper probing (env=1/28)": replace(params, env=1.0 / 28.0),
+        "pricier probing (env=1/7)": replace(params, env=1.0 / 7.0),
+    }
+    for label, scenario in variants.items():
+        sweep = sweep_frequencies(scenario)
+        crossover = sweep.crossover_frequency()
+        rendered = format_period(crossover) if crossover else "never"
+        print(f"  {label:30s} -> crossover at fQry = {rendered}")
+    print()
+
+
+def main() -> None:
+    params = ScenarioParameters.paper_scenario()
+    print(f"scenario: {params.num_peers} peers, {params.n_keys} keys, "
+          f"alpha={params.alpha}\n")
+    building_blocks(params)
+    threshold_sweep(params)
+    crossover_analysis(params)
+
+    sweep = sweep_frequencies(params)
+    print(format_series(
+        "fQry",
+        [format_period(f) for f in sweep.frequencies],
+        {
+            "indexAll": sweep.index_all_costs,
+            "noIndex": sweep.no_index_costs,
+            "partial (ideal)": sweep.partial_costs,
+            "partial (selection)": sweep.selection_costs,
+        },
+        title="total cost [msg/s] (Figures 1 and 4 combined)",
+        precision=0,
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""repro — a query-adaptive partial distributed hash table (PDHT).
+
+Reproduction of Klemm, Datta, Aberer, "A Query-Adaptive Partial
+Distributed Hash Table for Peer-to-Peer Systems" (EDBT 2004 workshops).
+
+Quick start::
+
+    from repro import ScenarioParameters, sweep_frequencies
+
+    params = ScenarioParameters.paper_scenario()
+    sweep = sweep_frequencies(params)
+    print(sweep.partial_costs)          # Fig. 1's 'partial' series
+
+    from repro import PdhtNetwork, PdhtConfig
+    from repro.experiments import simulation_scenario
+
+    params = simulation_scenario()
+    net = PdhtNetwork(params, PdhtConfig.from_scenario(params), seed=7)
+    net.publish("title=weather iraklion", "article-00042")
+    peer = net.random_online_peer()
+    outcome = net.query(peer, "title=weather iraklion")
+
+Subpackages:
+
+* :mod:`repro.analysis` — the paper's closed-form model (Eq. 1-17);
+* :mod:`repro.sim` — discrete-event engine, rng streams, metrics;
+* :mod:`repro.net` — peers, topologies, churn;
+* :mod:`repro.unstructured` — Gnutella-like overlay, floods, random walks;
+* :mod:`repro.dht` — Chord / Pastry / P-Grid backends + maintenance;
+* :mod:`repro.replication` — replica subnetworks, rumor spreading;
+* :mod:`repro.workload` — news corpus, metadata keys, Zipf query streams;
+* :mod:`repro.pdht` — the query-adaptive partial DHT itself;
+* :mod:`repro.experiments` — table/figure regeneration harness.
+"""
+
+from repro.analysis import (
+    ScenarioParameters,
+    ZipfDistribution,
+    CostModel,
+    SelectionModel,
+    evaluate_strategies,
+    solve_threshold,
+    sweep_frequencies,
+)
+from repro.pdht import (
+    AdaptiveTtlController,
+    PdhtConfig,
+    PdhtNetwork,
+    QueryOutcome,
+    TtlKeyStore,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ScenarioParameters",
+    "ZipfDistribution",
+    "CostModel",
+    "SelectionModel",
+    "evaluate_strategies",
+    "solve_threshold",
+    "sweep_frequencies",
+    "PdhtConfig",
+    "PdhtNetwork",
+    "QueryOutcome",
+    "TtlKeyStore",
+    "AdaptiveTtlController",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,108 @@
+"""Continuous crossover frequencies between strategies.
+
+The sweep (:mod:`repro.analysis.sweep`) reports crossovers at grid
+resolution; this module finds them exactly by bisection over a continuous
+per-peer query frequency:
+
+* :func:`index_all_vs_no_index` — where a full index starts beating pure
+  broadcast (the classic build-an-index break-even point);
+* :func:`selection_vs_index_all` — where the TTL selection algorithm
+  starts beating indexAll (Fig. 4's zero crossing, the paper's "except
+  for very high query frequencies" boundary);
+* :func:`find_crossover` — the generic engine: sign change of an
+  arbitrary cost difference over frequency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.analysis.parameters import ScenarioParameters
+from repro.analysis.selection_model import SelectionModel
+from repro.analysis.strategies import cost_index_all, cost_no_index
+from repro.analysis.zipf import ZipfDistribution
+from repro.errors import ParameterError
+
+__all__ = [
+    "find_crossover",
+    "index_all_vs_no_index",
+    "selection_vs_index_all",
+]
+
+
+def find_crossover(
+    params: ScenarioParameters,
+    difference: Callable[[ScenarioParameters], float],
+    freq_bounds: tuple[float, float] = (1.0 / 86_400.0, 1.0),
+    tolerance: float = 1e-4,
+    max_iterations: int = 200,
+) -> Optional[float]:
+    """Frequency where ``difference(params@freq)`` changes sign.
+
+    ``difference`` is evaluated with the scenario's query frequency
+    replaced by the probe frequency. Returns None when the sign is the
+    same at both bounds (no crossover in range). Bisection assumes a
+    single sign change in the interval, which holds for all the cost
+    differences in this module (each is monotone in frequency).
+    ``tolerance`` is relative (on the frequency).
+    """
+    lo, hi = freq_bounds
+    if not 0 < lo < hi:
+        raise ParameterError(f"need 0 < lo < hi, got {freq_bounds}")
+    f_lo = difference(params.with_query_freq(lo))
+    f_hi = difference(params.with_query_freq(hi))
+    if f_lo == 0:
+        return lo
+    if f_hi == 0:
+        return hi
+    if (f_lo > 0) == (f_hi > 0):
+        return None
+    for _ in range(max_iterations):
+        mid = (lo * hi) ** 0.5  # geometric midpoint: frequency is log-scaled
+        f_mid = difference(params.with_query_freq(mid))
+        if f_mid == 0:
+            return mid
+        if (f_mid > 0) == (f_lo > 0):
+            lo, f_lo = mid, f_mid
+        else:
+            hi, f_hi = mid, f_mid
+        if hi / lo - 1.0 < tolerance:
+            break
+    return (lo * hi) ** 0.5
+
+
+def index_all_vs_no_index(
+    params: ScenarioParameters,
+    freq_bounds: tuple[float, float] = (1.0 / 86_400.0, 1.0),
+) -> Optional[float]:
+    """The break-even frequency of building the full index (Eq. 11 = Eq. 12).
+
+    Above the returned per-peer frequency, indexAll is cheaper than
+    broadcasting everything; below it, broadcast wins. For Table 1 the
+    crossover falls between 1/1800 and 1/600, matching where the Fig. 1
+    curves cross.
+    """
+    return find_crossover(
+        params,
+        lambda p: cost_index_all(p) - cost_no_index(p),
+        freq_bounds=freq_bounds,
+    )
+
+
+def selection_vs_index_all(
+    params: ScenarioParameters,
+    freq_bounds: tuple[float, float] = (1.0 / 86_400.0, 1.0),
+) -> Optional[float]:
+    """Where the TTL selection algorithm stops beating indexAll (Eq. 17 =
+    Eq. 11): the exact location of Fig. 4's zero crossing.
+
+    The solid Fig. 4 curve is positive below the returned frequency and
+    negative above it — the paper's "except for very high query
+    frequencies" stated as a number.
+    """
+    zipf = ZipfDistribution(params.n_keys, params.alpha)
+
+    def difference(p: ScenarioParameters) -> float:
+        return SelectionModel(p, zipf=zipf).total_cost() - cost_index_all(p)
+
+    return find_crossover(params, difference, freq_bounds=freq_bounds)

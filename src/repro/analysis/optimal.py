@@ -1,0 +1,143 @@
+"""Exact optimisers for the quantities the paper picks heuristically.
+
+The paper chooses ``maxRank`` by comparing probT against fMin (Eq. 2/4)
+and ``keyTtl`` as ``1/fMin`` — both closed-form heuristics. Section 6 is
+explicit that the scheme "does not make the system theoretically optimal".
+This module computes the theoretical optima so the gap can be measured:
+
+* :func:`optimal_max_rank` — the index size minimising the ideal-partial
+  cost (Eq. 13) exactly, by evaluating the cost at every cut rank
+  (vectorised, O(keys));
+* :func:`optimal_key_ttl` — the TTL minimising the selection-algorithm
+  cost (Eq. 17), by golden-section search over log-TTL (the cost is
+  unimodal in practice: too-small TTLs thrash, too-large TTLs over-index).
+
+The ablation bench ``benchmarks/bench_ablation_optimal.py`` reports the
+heuristic-vs-optimal gap across the frequency sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.costs import c_search_unstructured
+from repro.analysis.parameters import ScenarioParameters
+from repro.analysis.selection_model import SelectionModel
+from repro.analysis.zipf import ZipfDistribution
+from repro.errors import ParameterError
+
+__all__ = ["OptimalPartialIndex", "optimal_max_rank", "optimal_key_ttl"]
+
+
+@dataclass(frozen=True)
+class OptimalPartialIndex:
+    """The exact Eq. 13 optimum over all cut ranks."""
+
+    params: ScenarioParameters
+    max_rank: int
+    cost: float
+    p_indexed: float
+
+    @property
+    def index_fraction(self) -> float:
+        return self.max_rank / self.params.n_keys
+
+
+def _partial_costs_all_ranks(
+    params: ScenarioParameters, zipf: ZipfDistribution
+) -> np.ndarray:
+    """Eq. 13 evaluated at every cut rank m = 0..keys (vectorised)."""
+    n = params.n_keys
+    rate = params.network_query_rate
+    c_unstr = c_search_unstructured(params.num_peers, params.replication, params.dup)
+
+    ranks = np.arange(0, n + 1, dtype=np.float64)
+    # numActivePeers(m) = clip(ceil(m*repl/stor), 2, numPeers) for m >= 1.
+    nap = np.ceil(ranks * params.replication / params.storage_per_peer)
+    nap = np.clip(nap, 2, params.num_peers)
+    nap[0] = 0
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        log_nap = np.where(nap > 1, np.log2(np.maximum(nap, 2)), 0.0)
+    c_sindx = 0.5 * log_nap
+    c_sindx[0] = 0.0
+
+    # cIndKey(m) per key: cRtn + cUpd at index size m.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        c_rtn = np.where(ranks > 0, params.env * log_nap * nap / ranks, 0.0)
+    c_upd = (c_sindx + params.replication * params.dup2) * params.update_freq
+    c_upd[0] = 0.0
+    c_indkey = c_rtn + c_upd
+
+    head = np.concatenate(([0.0], np.cumsum(zipf.probs())))
+    maintenance = ranks * c_indkey
+    hits = head * rate * c_sindx
+    misses = (1.0 - head) * rate * c_unstr
+    return maintenance + hits + misses
+
+
+def optimal_max_rank(
+    params: ScenarioParameters, zipf: ZipfDistribution | None = None
+) -> OptimalPartialIndex:
+    """The cut rank minimising Eq. 13 exactly.
+
+    This is the paper's "theoretically optimal" partial index the
+    heuristic approximates; it considers every cut rank including 0 (pure
+    broadcast) and keys (full index), so it never loses to either
+    baseline.
+    """
+    zipf = zipf or ZipfDistribution(params.n_keys, params.alpha)
+    if zipf.n_keys != params.n_keys:
+        raise ParameterError(
+            f"zipf has {zipf.n_keys} keys but params has {params.n_keys}"
+        )
+    costs = _partial_costs_all_ranks(params, zipf)
+    best = int(np.argmin(costs))
+    return OptimalPartialIndex(
+        params=params,
+        max_rank=best,
+        cost=float(costs[best]),
+        p_indexed=zipf.head_mass(best),
+    )
+
+
+def optimal_key_ttl(
+    params: ScenarioParameters,
+    zipf: ZipfDistribution | None = None,
+    ttl_bounds: tuple[float, float] = (1.0, 1e7),
+    tolerance: float = 1e-3,
+) -> tuple[float, float]:
+    """The TTL minimising the Eq. 17 selection cost.
+
+    Golden-section search over ``log(ttl)``; returns ``(ttl, cost)``.
+    Eq. 17 is continuous and unimodal in the TTL for Zipf workloads (the
+    miss penalty falls and the maintenance cost rises monotonically with
+    TTL), which golden-section requires.
+    """
+    zipf = zipf or ZipfDistribution(params.n_keys, params.alpha)
+    lo, hi = ttl_bounds
+    if not 0 < lo < hi:
+        raise ParameterError(f"need 0 < lo < hi, got {ttl_bounds}")
+
+    def cost_at(log_ttl: float) -> float:
+        return SelectionModel(params, key_ttl=math.exp(log_ttl), zipf=zipf).total_cost()
+
+    a, b = math.log(lo), math.log(hi)
+    inv_phi = (math.sqrt(5.0) - 1.0) / 2.0
+    c = b - inv_phi * (b - a)
+    d = a + inv_phi * (b - a)
+    fc, fd = cost_at(c), cost_at(d)
+    while b - a > tolerance:
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - inv_phi * (b - a)
+            fc = cost_at(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + inv_phi * (b - a)
+            fd = cost_at(d)
+    log_best = (a + b) / 2.0
+    return math.exp(log_best), cost_at(log_best)

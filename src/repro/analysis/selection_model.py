@@ -1,0 +1,172 @@
+"""Analytical model of the decentralized selection algorithm (paper Eq. 14-17).
+
+Section 5 drops the idealising assumption that peers know which keys are
+indexed. Instead each peer:
+
+1. searches the index first (cost ``cSIndx2``, Eq. 16 — the replica
+   subnetwork must be flooded because TTL purging leaves replicas poorly
+   synchronised);
+2. on a miss, broadcasts in the unstructured network (``cSUnstr``) and
+   inserts the resulting key into the index (another ``cSIndx2``);
+3. keys expire after ``keyTtl`` rounds without a query; a query resets the
+   expiration clock.
+
+Under this policy a key at Zipf rank ``r`` is present in the index exactly
+when it was queried at least once during the last ``keyTtl`` rounds, which
+happens with probability ``1 - (1 - probT_r)^keyTtl``. Summing gives the
+index hit probability (Eq. 14) and the expected index size (Eq. 15); the
+total cost is Eq. 17. Proactive updates are no longer needed (a stale key
+simply times out and is re-fetched), so maintenance reduces to ``cRtn``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.costs import CostModel
+from repro.analysis.parameters import ScenarioParameters
+from repro.analysis.threshold import solve_threshold
+from repro.analysis.zipf import ZipfDistribution
+from repro.errors import ParameterError
+
+__all__ = ["SelectionModel", "SelectionOutcome"]
+
+
+@dataclass(frozen=True)
+class SelectionOutcome:
+    """Eq. 14-17 evaluated for one scenario and one ``keyTtl`` (Fig. 4 column)."""
+
+    params: ScenarioParameters
+    key_ttl: float
+    index_size: float
+    p_indexed: float
+    total_cost: float
+    index_all: float
+    no_index: float
+
+    @property
+    def index_fraction(self) -> float:
+        """Expected indexed share of the key universe."""
+        return self.index_size / self.params.n_keys
+
+    @property
+    def savings_vs_index_all(self) -> float:
+        """Fig. 4, solid line. May go negative at very high query rates."""
+        if self.index_all == 0:
+            return 0.0
+        return 1.0 - self.total_cost / self.index_all
+
+    @property
+    def savings_vs_no_index(self) -> float:
+        """Fig. 4, dashed line."""
+        if self.no_index == 0:
+            return 0.0
+        return 1.0 - self.total_cost / self.no_index
+
+
+class SelectionModel:
+    """Closed-form model of the TTL-based selection algorithm.
+
+    Parameters
+    ----------
+    params:
+        Scenario parameters (Table 1).
+    key_ttl:
+        Expiration time in rounds. When omitted, the paper's choice
+        ``keyTtl = 1 / fMin`` is derived from :func:`solve_threshold`.
+    zipf:
+        Optional pre-built query distribution (avoids recomputation in
+        sweeps).
+    """
+
+    def __init__(
+        self,
+        params: ScenarioParameters,
+        key_ttl: float | None = None,
+        zipf: ZipfDistribution | None = None,
+    ) -> None:
+        self.params = params
+        self.zipf = zipf or ZipfDistribution(params.n_keys, params.alpha)
+        if self.zipf.n_keys != params.n_keys:
+            raise ParameterError(
+                f"zipf has {self.zipf.n_keys} keys but params has {params.n_keys}"
+            )
+        if key_ttl is None:
+            key_ttl = solve_threshold(params, self.zipf).key_ttl
+        if key_ttl < 0:
+            raise ParameterError(f"key_ttl must be >= 0, got {key_ttl}")
+        self.key_ttl = float(key_ttl)
+        self._presence = self._presence_probabilities()
+
+    def _presence_probabilities(self) -> np.ndarray:
+        """Per-rank probability of being in the index: 1-(1-probT)^keyTtl."""
+        prob_t = self.zipf.probs_queried(self.params.network_query_rate)
+        if self.key_ttl == 0:
+            return np.zeros_like(prob_t)
+        # Computed stably as -expm1(keyTtl * log1p(-probT)). probT can round
+        # to exactly 1.0 for the hottest ranks, where log1p(-1) = -inf and
+        # the presence probability is correctly 1; silence the benign warning.
+        with np.errstate(divide="ignore"):
+            return -np.expm1(self.key_ttl * np.log1p(-prob_t))
+
+    # ------------------------------------------------------------------
+    # Eq. 15
+    # ------------------------------------------------------------------
+    @property
+    def index_size(self) -> float:
+        """Expected number of keys resident in the index (Eq. 15)."""
+        return float(self._presence.sum())
+
+    # ------------------------------------------------------------------
+    # Eq. 14
+    # ------------------------------------------------------------------
+    @property
+    def p_indexed(self) -> float:
+        """Probability a random query is answered from the index (Eq. 14)."""
+        return float((self._presence * self.zipf.probs()).sum())
+
+    # ------------------------------------------------------------------
+    # Eq. 17
+    # ------------------------------------------------------------------
+    @property
+    def cost_model(self) -> CostModel:
+        """Costs evaluated at the expected index size of Eq. 15."""
+        return CostModel(params=self.params, indexed_keys=self.index_size)
+
+    def total_cost(self) -> float:
+        """Total msg/s of the selection algorithm (Eq. 17).
+
+            partial = indexSize * cRtn
+                    + pIndxd * fQry * numPeers * cSIndx2
+                    + (1 - pIndxd) * fQry * numPeers
+                      * (cSIndx2 + cSUnstr + cSIndx2)
+
+        The miss path pays the failed index search, the broadcast search,
+        and the re-insertion into the index.
+        """
+        model = self.cost_model
+        rate = self.params.network_query_rate
+        maintenance = self.index_size * model.routing_maintenance
+        hit_cost = self.p_indexed * rate * model.search_index_with_replicas
+        miss_per_query = (
+            2.0 * model.search_index_with_replicas + model.search_unstructured
+        )
+        miss_cost = (1.0 - self.p_indexed) * rate * miss_per_query
+        return maintenance + hit_cost + miss_cost
+
+    def outcome(self) -> SelectionOutcome:
+        """Bundle Eq. 14-17 with the Eq. 11/12 baselines for reporting."""
+        # Imported here to avoid a circular import at module load time.
+        from repro.analysis.strategies import cost_index_all, cost_no_index
+
+        return SelectionOutcome(
+            params=self.params,
+            key_ttl=self.key_ttl,
+            index_size=self.index_size,
+            p_indexed=self.p_indexed,
+            total_cost=self.total_cost(),
+            index_all=cost_index_all(self.params),
+            no_index=cost_no_index(self.params),
+        )

@@ -1,0 +1,115 @@
+"""Total system cost of the three indexing strategies (paper Eq. 11-13).
+
+All costs are network-wide messages per second for a given scenario:
+
+* ``indexAll`` (Eq. 11) — maintain every key in the DHT, answer every query
+  from the index.
+* ``noIndex`` (Eq. 12) — maintain nothing, answer every query by broadcast
+  search in the unstructured overlay.
+* ``partial`` (Eq. 13) — *ideal* partial indexing: maintain only the
+  ``maxRank`` keys worth indexing, assuming every peer magically knows
+  whether a key is indexed (lower bound; Section 4). The realistic variant
+  that drops this assumption is :mod:`repro.analysis.selection_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.costs import CostModel
+from repro.analysis.parameters import ScenarioParameters
+from repro.analysis.threshold import IndexThreshold, solve_threshold
+from repro.analysis.zipf import ZipfDistribution
+
+__all__ = [
+    "cost_index_all",
+    "cost_no_index",
+    "cost_partial_ideal",
+    "StrategyCosts",
+    "evaluate_strategies",
+]
+
+
+def cost_index_all(params: ScenarioParameters) -> float:
+    """Total msg/s when all keys are indexed (Eq. 11).
+
+        indexAll = keys * cIndKey + fQry * numPeers * cSIndx
+    """
+    model = CostModel.full_index(params)
+    maintenance = params.n_keys * model.index_key
+    queries = params.network_query_rate * model.search_index
+    return maintenance + queries
+
+
+def cost_no_index(params: ScenarioParameters) -> float:
+    """Total msg/s when all queries are broadcast (Eq. 12).
+
+        noIndex = fQry * numPeers * cSUnstr
+    """
+    model = CostModel(params=params, indexed_keys=0.0)
+    return params.network_query_rate * model.search_unstructured
+
+
+def cost_partial_ideal(
+    params: ScenarioParameters, threshold: IndexThreshold | None = None
+) -> float:
+    """Total msg/s of ideal partial indexing (Eq. 13).
+
+        partial = maxRank * cIndKey
+                + pIndxd * fQry * numPeers * cSIndx
+                + (1 - pIndxd) * fQry * numPeers * cSUnstr
+
+    Pass a pre-solved ``threshold`` to avoid re-running the bisection.
+    """
+    if threshold is None:
+        threshold = solve_threshold(params)
+    model = threshold.cost_model
+    rate = params.network_query_rate
+    maintenance = threshold.max_rank * model.index_key
+    hits = threshold.p_indexed * rate * model.search_index
+    misses = (1.0 - threshold.p_indexed) * rate * model.search_unstructured
+    return maintenance + hits + misses
+
+
+@dataclass(frozen=True)
+class StrategyCosts:
+    """Eq. 11-13 evaluated side by side for one scenario (one Fig. 1 column)."""
+
+    params: ScenarioParameters
+    threshold: IndexThreshold
+    index_all: float
+    no_index: float
+    partial: float
+
+    @property
+    def savings_vs_index_all(self) -> float:
+        """Relative saving of partial indexing over indexAll (Fig. 2, solid)."""
+        if self.index_all == 0:
+            return 0.0
+        return 1.0 - self.partial / self.index_all
+
+    @property
+    def savings_vs_no_index(self) -> float:
+        """Relative saving of partial indexing over noIndex (Fig. 2, dashed)."""
+        if self.no_index == 0:
+            return 0.0
+        return 1.0 - self.partial / self.no_index
+
+    @property
+    def best_baseline(self) -> str:
+        """Which all-or-nothing baseline is cheaper at this query frequency."""
+        return "indexAll" if self.index_all <= self.no_index else "noIndex"
+
+
+def evaluate_strategies(
+    params: ScenarioParameters, zipf: ZipfDistribution | None = None
+) -> StrategyCosts:
+    """Evaluate all three strategies for one scenario."""
+    threshold = solve_threshold(params, zipf)
+    return StrategyCosts(
+        params=params,
+        threshold=threshold,
+        index_all=cost_index_all(params),
+        no_index=cost_no_index(params),
+        partial=cost_partial_ideal(params, threshold),
+    )

@@ -1,0 +1,215 @@
+"""Abstract interface all DHT backends implement.
+
+The paper's model consumes exactly two properties of a DHT:
+
+* lookups resolve in ``O(log n)`` overlay hops (Eq. 7 charges
+  ``1/2 * log2(numActivePeers)`` messages per lookup);
+* each member maintains a routing table of ``O(log n)`` entries whose
+  probing drives the maintenance cost (Eq. 8).
+
+:class:`DistributedHashTable` exposes those two properties plus a plain
+key-value plane. Backends differ only in geometry (ring / prefix tree /
+trie); all of them:
+
+* operate over a *member set* of peers drawn from the shared
+  :class:`~repro.net.node.PeerPopulation` (the paper's ``numActivePeers``
+  subset — peers beyond what the index needs do not join the DHT);
+* count every routing hop through the shared
+  :class:`~repro.net.messages.MessageLog`;
+* route only through *online* members, falling back to the numerically
+  closest alternative when an entry is dead (the "piggybacked repair"
+  assumption of Section 3.3.1 — detecting staleness costs probe messages,
+  repairing it does not).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.errors import ParameterError, RoutingError
+from repro.net.messages import MessageKind, MessageLog
+from repro.net.node import PeerId, PeerPopulation
+from repro.dht.keyspace import KeySpace
+
+__all__ = ["LookupResult", "DistributedHashTable"]
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of one DHT lookup."""
+
+    key: str
+    responsible: PeerId
+    hops: int
+    messages: int
+    found_value: object = None
+    has_value: bool = False
+
+
+class DistributedHashTable(abc.ABC):
+    """Common machinery for Chord / Pastry / P-Grid backends.
+
+    Subclasses implement the routing geometry via :meth:`_route`; joins and
+    leaves trigger a (geometry-specific) routing-state rebuild via
+    :meth:`_rebuild`.
+    """
+
+    def __init__(
+        self,
+        population: PeerPopulation,
+        log: MessageLog,
+        keyspace: Optional[KeySpace] = None,
+    ) -> None:
+        self.population = population
+        self.log = log
+        self.keyspace = keyspace or KeySpace()
+        self._members: set[PeerId] = set()
+        self._storage: dict[PeerId, dict[str, object]] = {}
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> frozenset[PeerId]:
+        return frozenset(self._members)
+
+    @property
+    def size(self) -> int:
+        return len(self._members)
+
+    def online_members(self) -> list[PeerId]:
+        """Members currently online, ascending by peer id."""
+        return sorted(
+            m for m in self._members if self.population.is_online(m)
+        )
+
+    def join(self, peer_id: PeerId) -> None:
+        """Add a peer to the DHT member set."""
+        self.population[peer_id]  # bounds check
+        if peer_id in self._members:
+            return
+        self._members.add(peer_id)
+        self._storage.setdefault(peer_id, {})
+        self.log.send(MessageKind.JOIN, peer_id, peer_id)
+        self._dirty = True
+
+    def join_all(self, peer_ids: Iterable[PeerId]) -> None:
+        for peer_id in peer_ids:
+            self.join(peer_id)
+
+    def leave(self, peer_id: PeerId) -> None:
+        """Remove a peer (its stored keys are lost, as in a crash-leave)."""
+        if peer_id not in self._members:
+            return
+        self._members.discard(peer_id)
+        self._storage.pop(peer_id, None)
+        self.log.send(MessageKind.LEAVE, peer_id, peer_id)
+        self._dirty = True
+
+    def _ensure_routing(self) -> None:
+        if self._dirty:
+            self._rebuild()
+            self._dirty = False
+
+    # ------------------------------------------------------------------
+    # Geometry hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _rebuild(self) -> None:
+        """Recompute routing state from the current member set."""
+
+    @abc.abstractmethod
+    def _route(self, origin: PeerId, target: int) -> tuple[PeerId, int]:
+        """Route from ``origin`` towards identifier ``target``.
+
+        Returns ``(responsible_peer, hops)`` and must log one
+        ``DHT_LOOKUP`` message per hop. Routing may only traverse online
+        members.
+        """
+
+    @abc.abstractmethod
+    def routing_table(self, peer_id: PeerId) -> list[PeerId]:
+        """The peer's current routing entries (for maintenance probing)."""
+
+    # ------------------------------------------------------------------
+    # Lookup / storage plane
+    # ------------------------------------------------------------------
+    def responsible_for(self, key: str) -> PeerId:
+        """The member responsible for ``key`` (no messages; oracle view)."""
+        self._ensure_routing()
+        online = self.online_members()
+        if not online:
+            raise RoutingError("DHT has no online members")
+        return self._responsible(self.keyspace.hash_key(key))
+
+    @abc.abstractmethod
+    def _responsible(self, target: int) -> PeerId:
+        """Online member responsible for identifier ``target``."""
+
+    def lookup(self, origin: PeerId, key: str) -> LookupResult:
+        """Route a lookup for ``key`` from ``origin``; count each hop."""
+        self._require_online_member(origin)
+        self._ensure_routing()
+        target = self.keyspace.hash_key(key)
+        responsible, hops = self._route(origin, target)
+        store = self._storage.get(responsible, {})
+        has_value = key in store
+        return LookupResult(
+            key=key,
+            responsible=responsible,
+            hops=hops,
+            messages=hops,
+            found_value=store.get(key),
+            has_value=has_value,
+        )
+
+    def insert(self, origin: PeerId, key: str, value: object) -> LookupResult:
+        """Route to the responsible peer and store ``(key, value)`` there."""
+        result = self.lookup(origin, key)
+        self._storage.setdefault(result.responsible, {})[key] = value
+        return LookupResult(
+            key=key,
+            responsible=result.responsible,
+            hops=result.hops,
+            messages=result.messages,
+            found_value=value,
+            has_value=True,
+        )
+
+    def delete(self, origin: PeerId, key: str) -> LookupResult:
+        """Route to the responsible peer and remove ``key`` if present."""
+        result = self.lookup(origin, key)
+        self._storage.get(result.responsible, {}).pop(key, None)
+        return result
+
+    def stored_at(self, peer_id: PeerId) -> dict[str, object]:
+        """Snapshot of one member's local store."""
+        return dict(self._storage.get(peer_id, {}))
+
+    def local_store(self, peer_id: PeerId) -> dict[str, object]:
+        """Mutable reference to one member's local store (PDHT layers on
+        this to apply TTL eviction directly at the responsible peer)."""
+        if peer_id not in self._members:
+            raise ParameterError(f"peer {peer_id} is not a DHT member")
+        return self._storage[peer_id]
+
+    def total_stored_keys(self) -> int:
+        return sum(len(s) for s in self._storage.values())
+
+    # ------------------------------------------------------------------
+    def _require_online_member(self, peer_id: PeerId) -> None:
+        if peer_id not in self._members:
+            raise ParameterError(f"peer {peer_id} is not a DHT member")
+        self.population[peer_id].require_online()
+
+    def expected_lookup_hops(self) -> float:
+        """Eq. 7's prediction for this member count: ``1/2 log2(n)``."""
+        import math
+
+        n = len(self.online_members())
+        if n <= 1:
+            return 0.0
+        return 0.5 * math.log2(n)

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the PDHT reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError`, so
+callers can catch library failures without masking programming errors such as
+``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A scenario or model parameter is out of its valid domain."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """A fixed-point iteration failed to converge within its budget."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class TopologyError(ReproError, ValueError):
+    """An overlay topology cannot be built with the requested parameters."""
+
+
+class RoutingError(ReproError, RuntimeError):
+    """A DHT routing operation could not complete (e.g. no live route)."""
+
+
+class KeyspaceError(ReproError, ValueError):
+    """A key or identifier is outside the configured key space."""
+
+
+class OfflinePeerError(SimulationError):
+    """An operation was attempted on a peer that is currently offline."""

@@ -1,0 +1,62 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+* Table 1 — :func:`repro.experiments.tables.table1_rows`
+* Fig. 1  — :func:`repro.experiments.figures.figure1`
+* Fig. 2  — :func:`repro.experiments.figures.figure2`
+* Fig. 3  — :func:`repro.experiments.figures.figure3`
+* Fig. 4  — :func:`repro.experiments.figures.figure4`
+* Section 5.1.1 keyTtl sensitivity — :func:`repro.experiments.figures.keyttl_sensitivity`
+* Section 5.2 simulation — :func:`repro.experiments.figures.simulation_comparison`
+
+Run everything from the command line::
+
+    python -m repro.experiments.runner all
+"""
+
+from repro.experiments.scenario import (
+    paper_scenario,
+    simulation_scenario,
+    SIMULATION_SCALE,
+)
+from repro.experiments.figures import (
+    FigureSeries,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    keyttl_sensitivity,
+    heuristic_vs_optimal,
+    simulation_comparison,
+    adaptivity_experiment,
+    churn_experiment,
+)
+from repro.experiments.tables import table1_rows
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.stats import MetricSummary, SeedSummary, replicate, summarise
+from repro.experiments.export import figure_to_csv, figure_to_json, save_figure
+
+__all__ = [
+    "paper_scenario",
+    "simulation_scenario",
+    "SIMULATION_SCALE",
+    "FigureSeries",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "keyttl_sensitivity",
+    "heuristic_vs_optimal",
+    "simulation_comparison",
+    "adaptivity_experiment",
+    "churn_experiment",
+    "table1_rows",
+    "format_series",
+    "format_table",
+    "MetricSummary",
+    "SeedSummary",
+    "replicate",
+    "summarise",
+    "figure_to_csv",
+    "figure_to_json",
+    "save_figure",
+]

@@ -1,0 +1,74 @@
+"""Export reproduced figures as CSV or JSON.
+
+Downstream plotting (gnuplot, matplotlib, spreadsheets) wants raw series,
+not ASCII tables; these helpers serialise any
+:class:`~repro.experiments.figures.FigureSeries` losslessly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from repro.errors import ParameterError
+from repro.experiments.figures import FigureSeries
+
+__all__ = ["figure_to_csv", "figure_to_json", "save_figure", "load_figure_json"]
+
+
+def figure_to_csv(figure: FigureSeries) -> str:
+    """Render a figure as CSV: one x column plus one column per series."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow([figure.x_label, *figure.series.keys()])
+    for i, x in enumerate(figure.x_values):
+        writer.writerow([x, *(values[i] for values in figure.series.values())])
+    return buffer.getvalue()
+
+
+def figure_to_json(figure: FigureSeries) -> str:
+    """Render a figure as JSON (name, notes, x axis, series)."""
+    return json.dumps(
+        {
+            "name": figure.name,
+            "x_label": figure.x_label,
+            "x_values": list(figure.x_values),
+            "series": {k: list(v) for k, v in figure.series.items()},
+            "notes": figure.notes,
+        },
+        indent=2,
+    )
+
+
+def load_figure_json(text: str) -> FigureSeries:
+    """Reconstruct a :class:`FigureSeries` from :func:`figure_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ParameterError(f"not a valid figure export: {exc}") from exc
+    missing = {"name", "x_label", "x_values", "series"} - set(payload)
+    if missing:
+        raise ParameterError(f"figure export missing fields: {sorted(missing)}")
+    return FigureSeries(
+        name=payload["name"],
+        x_label=payload["x_label"],
+        x_values=[str(x) for x in payload["x_values"]],
+        series={k: [float(v) for v in vs] for k, vs in payload["series"].items()},
+        notes=payload.get("notes", ""),
+    )
+
+
+def save_figure(figure: FigureSeries, path: str | Path) -> Path:
+    """Write a figure to ``path``; format chosen by suffix (.csv / .json)."""
+    path = Path(path)
+    if path.suffix == ".csv":
+        path.write_text(figure_to_csv(figure), encoding="utf-8")
+    elif path.suffix == ".json":
+        path.write_text(figure_to_json(figure), encoding="utf-8")
+    else:
+        raise ParameterError(
+            f"unsupported export suffix {path.suffix!r} (use .csv or .json)"
+        )
+    return path

@@ -1,0 +1,71 @@
+"""Fixed-width text rendering for tables and figure series.
+
+The harness prints the same rows/series the paper's figures plot; these
+helpers keep the output stable and diff-friendly (the benchmarks tee it
+into the experiment log).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "format_period"]
+
+
+def format_period(query_freq: float) -> str:
+    """Render a per-peer query frequency the way the paper labels it
+    (``1/30`` ... ``1/7200``)."""
+    if query_freq <= 0:
+        return "0"
+    period = 1.0 / query_freq
+    if abs(period - round(period)) < 1e-9:
+        return f"1/{int(round(period))}"
+    return f"1/{period:.1f}"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+    precision: int = 4,
+) -> str:
+    """Render one or more y-series against a shared x-axis as a table."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        row: list[object] = [x]
+        for values in series.values():
+            row.append(round(float(values[i]), precision))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 10_000:
+            return f"{value:,.0f}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,75 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments.runner table1
+    python -m repro.experiments.runner fig1 fig2 fig3 fig4
+    python -m repro.experiments.runner keyttl
+    python -m repro.experiments.runner sim          # reduced-scale simulation
+    python -m repro.experiments.runner adaptivity
+    python -m repro.experiments.runner all          # everything above
+
+``sim`` and ``adaptivity`` run discrete-event simulations and take tens of
+seconds; the analytical figures are instant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import figures, tables
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _run_table1() -> str:
+    return tables.render_table1()
+
+
+EXPERIMENTS: dict[str, Callable[[], str]] = {
+    "table1": _run_table1,
+    "fig1": lambda: figures.figure1().render(),
+    "fig2": lambda: figures.figure2().render(),
+    "fig3": lambda: figures.figure3().render(),
+    "fig4": lambda: figures.figure4().render(),
+    "keyttl": lambda: figures.keyttl_sensitivity().render(),
+    "optimal": lambda: figures.heuristic_vs_optimal().render(),
+    "sim": lambda: figures.simulation_comparison(duration=300.0).render(),
+    "adaptivity": lambda: figures.adaptivity_experiment(
+        duration=1200.0, shift_at=600.0, window=100.0
+    ).render(),
+    "churn": lambda: figures.churn_experiment(duration=240.0).render(),
+    "staleness": lambda: figures.staleness_experiment(duration=300.0).render(),
+    "simfig1": lambda: figures.simulated_figure1(duration=120.0).render(),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=[*EXPERIMENTS, "all"],
+        help="which experiments to run ('all' for everything)",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    for name in names:
+        started = time.perf_counter()
+        output = EXPERIMENTS[name]()
+        elapsed = time.perf_counter() - started
+        print(f"=== {name} ({elapsed:.1f}s) " + "=" * max(0, 50 - len(name)))
+        print(output)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Scenario presets for the experiments.
+
+``paper_scenario`` is Table 1 verbatim; the analytical figures are
+evaluated at that scale. Pure-Python discrete-event simulation of 20,000
+peers is possible but slow, so the simulated experiments default to
+``simulation_scenario`` — Table 1 scaled down by :data:`SIMULATION_SCALE`
+with ``numPeers`` and ``keys`` reduced together, preserving every ratio
+the model consumes (keys per peer, replication, storage). DESIGN.md
+discusses why the *shape* of the results is scale-invariant.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.parameters import ScenarioParameters
+
+__all__ = ["SIMULATION_SCALE", "paper_scenario", "simulation_scenario"]
+
+#: Default scale-down factor for simulated experiments (Table 1 x 1/20).
+SIMULATION_SCALE = 0.05
+
+
+def paper_scenario() -> ScenarioParameters:
+    """The exact Table 1 scenario (20,000 peers, 40,000 keys)."""
+    return ScenarioParameters.paper_scenario()
+
+
+def simulation_scenario(
+    scale: float = SIMULATION_SCALE, query_freq: float = 1.0 / 30.0
+) -> ScenarioParameters:
+    """A reduced scenario for discrete-event simulation runs.
+
+    With the default scale: 1,000 peers, 2,000 keys, replication 50,
+    storage 100 — so a full index needs 1,000 active peers and the
+    structural ratios of Table 1 are intact.
+    """
+    return paper_scenario().scaled(scale).with_query_freq(query_freq)

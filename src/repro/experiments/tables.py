@@ -1,0 +1,39 @@
+"""Table 1: parameters of the sample scenario."""
+
+from __future__ import annotations
+
+from repro.analysis.parameters import ScenarioParameters
+from repro.experiments.reporting import format_table
+
+__all__ = ["table1_rows", "render_table1"]
+
+_DESCRIPTIONS = {
+    "numPeers": "Total number of peers",
+    "keys": "Number of unique keys",
+    "stor": "Storage capacity for indexing per peer",
+    "repl": "Replication factor",
+    "alpha": "alpha of query Zipf distribution",
+    "fQry": "Frequency of queries per peer per second",
+    "fUpd": "Avg. update freq. per key",
+    "env": "Route maintenance constant",
+    "dup": "Message duplication factor (unstructured)",
+    "dup2": "Message duplication factor (replica subnet)",
+}
+
+
+def table1_rows(params: ScenarioParameters | None = None) -> list[tuple[str, str, object]]:
+    """The (description, parameter, value) rows of Table 1."""
+    params = params or ScenarioParameters.paper_scenario()
+    rows = []
+    for name, value in params.iter_fields():
+        rows.append((_DESCRIPTIONS[name], name, value))
+    return rows
+
+
+def render_table1(params: ScenarioParameters | None = None) -> str:
+    rows = table1_rows(params)
+    return format_table(
+        ["Description", "Param.", "Value"],
+        rows,
+        title="Table 1. Parameters of the sample scenario.",
+    )

@@ -1,0 +1,136 @@
+"""Gateway discovery for peers outside the DHT.
+
+Section 3.2: "For the remaining peers, to perform searches, it is
+sufficient to know at least one online peer that is participating in the
+DHT." This module implements that mechanism instead of assuming it: every
+non-member keeps a small cache of known DHT members; when all cached
+gateways are found offline the peer re-bootstraps by asking a random
+online acquaintance (one request/response pair per hop until a member is
+found), and every successful interaction refreshes the cache.
+
+Messages are accounted in the MEMBERSHIP category, so experiments can
+check that gateway discovery is a negligible share of total traffic (it
+must be, or the paper's cSIndx accounting would be incomplete).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.errors import ParameterError, RoutingError
+from repro.net.messages import MessageKind, MessageLog
+from repro.net.node import PeerId, PeerPopulation
+
+__all__ = ["GatewayCache"]
+
+
+class GatewayCache:
+    """Per-peer caches of known DHT members, with re-bootstrap on failure.
+
+    Parameters
+    ----------
+    population:
+        The shared peer population (liveness source).
+    members:
+        Current DHT member set (the bootstrap universe). May be updated via
+        :meth:`update_members` when the DHT re-provisions.
+    log:
+        Message log for accounting.
+    rng:
+        Randomness for bootstrap probing.
+    cache_size:
+        Gateways remembered per peer.
+    """
+
+    def __init__(
+        self,
+        population: PeerPopulation,
+        members: set[PeerId],
+        log: MessageLog,
+        rng: np.random.Generator,
+        cache_size: int = 3,
+    ) -> None:
+        if cache_size < 1:
+            raise ParameterError(f"cache_size must be >= 1, got {cache_size}")
+        if not members:
+            raise ParameterError("bootstrap needs at least one DHT member")
+        self.population = population
+        self.members = set(members)
+        self.log = log
+        self.rng = rng
+        self.cache_size = cache_size
+        self._caches: dict[PeerId, OrderedDict[PeerId, None]] = {}
+        self.bootstrap_probes = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def update_members(self, members: set[PeerId]) -> None:
+        """Replace the member universe (e.g. after DHT re-provisioning).
+
+        Stale cache entries are kept until they fail — exactly how real
+        bootstrap caches age out.
+        """
+        if not members:
+            raise ParameterError("bootstrap needs at least one DHT member")
+        self.members = set(members)
+
+    # ------------------------------------------------------------------
+    def _cache_for(self, peer_id: PeerId) -> OrderedDict[PeerId, None]:
+        cache = self._caches.get(peer_id)
+        if cache is None:
+            cache = OrderedDict()
+            self._caches[peer_id] = cache
+        return cache
+
+    def _remember(self, peer_id: PeerId, gateway: PeerId) -> None:
+        cache = self._cache_for(peer_id)
+        cache.pop(gateway, None)
+        cache[gateway] = None  # most-recently-used at the end
+        while len(cache) > self.cache_size:
+            cache.popitem(last=False)
+
+    def gateway_for(self, peer_id: PeerId) -> PeerId:
+        """An online DHT member for ``peer_id`` to route through.
+
+        Tries the peer's cache first (most recent first); on total cache
+        failure, bootstraps by probing random members — each probe is one
+        request/response pair. Raises :class:`RoutingError` when no member
+        of the DHT is online at all.
+        """
+        self.population[peer_id].require_online()
+        if peer_id in self.members and self.population.is_online(peer_id):
+            return peer_id
+
+        cache = self._cache_for(peer_id)
+        for gateway in reversed(cache):
+            if (
+                gateway in self.members
+                and self.population.is_online(gateway)
+            ):
+                self.cache_hits += 1
+                self._remember(peer_id, gateway)
+                return gateway
+        self.cache_misses += 1
+
+        # Re-bootstrap: probe members in random order until one answers.
+        candidates = sorted(self.members)
+        order = self.rng.permutation(len(candidates))
+        for idx in order:
+            candidate = candidates[int(idx)]
+            self.log.send(MessageKind.JOIN, peer_id, candidate)
+            self.log.send(MessageKind.JOIN, candidate, peer_id)
+            self.bootstrap_probes += 1
+            if self.population.is_online(candidate):
+                self._remember(peer_id, candidate)
+                return candidate
+        raise RoutingError("no online DHT member reachable for bootstrap")
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        if total == 0:
+            return 0.0
+        return self.cache_hits / total

@@ -1,0 +1,143 @@
+"""Churn: peers going on- and offline.
+
+P2P clients are "extremely transient in nature" [ChRa03]; the paper's
+maintenance-cost term ``cRtn`` exists precisely because churn forces peers
+to keep probing their routing tables. This module drives a
+:class:`~repro.net.node.PeerPopulation` through on/offline cycles inside a
+:class:`~repro.sim.engine.Simulation`.
+
+Session and offline durations are exponentially distributed by default
+(the memoryless baseline used throughout the P2P literature); any
+``rng.<dist>``-style sampler can be plugged in for heavier-tailed
+behaviour. The long-run fraction of online peers converges to
+``mean_session / (mean_session + mean_offline)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.net.node import PeerId, PeerPopulation
+from repro.sim.engine import Simulation
+
+__all__ = ["ChurnConfig", "ChurnProcess"]
+
+#: Callback fired on every liveness transition: (peer_id, now, online).
+TransitionListener = Callable[[PeerId, float, bool], None]
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Churn parameters.
+
+    Attributes
+    ----------
+    mean_session:
+        Average online time per session, seconds. Gnutella measurements put
+        median sessions at tens of minutes; the default is 30 min.
+    mean_offline:
+        Average offline time between sessions, seconds.
+    enabled:
+        Disabling churn freezes the initial liveness (useful to isolate
+        search behaviour from maintenance behaviour in experiments).
+    """
+
+    mean_session: float = 1800.0
+    mean_offline: float = 600.0
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mean_session <= 0:
+            raise ParameterError(
+                f"mean_session must be > 0, got {self.mean_session}"
+            )
+        if self.mean_offline <= 0:
+            raise ParameterError(
+                f"mean_offline must be > 0, got {self.mean_offline}"
+            )
+
+    @property
+    def availability(self) -> float:
+        """Long-run fraction of time a peer is online."""
+        return self.mean_session / (self.mean_session + self.mean_offline)
+
+    @property
+    def turnover_rate(self) -> float:
+        """Expected liveness transitions per peer per second."""
+        return 1.0 / self.mean_session + 1.0 / self.mean_offline
+
+
+class ChurnProcess:
+    """Schedules on/offline transitions for every peer.
+
+    Each peer alternates exponentially-distributed online sessions and
+    offline gaps. Transitions notify registered listeners (the overlays
+    subscribe to repair routing tables / drop walks through dead peers).
+    """
+
+    def __init__(
+        self,
+        simulation: Simulation,
+        population: PeerPopulation,
+        config: ChurnConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.simulation = simulation
+        self.population = population
+        self.config = config
+        self.rng = rng
+        self._listeners: list[TransitionListener] = []
+        self.transitions = 0
+
+    def add_listener(self, listener: TransitionListener) -> None:
+        """Register a callback fired after every liveness transition."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    def start(self, initial_online_fraction: Optional[float] = None) -> None:
+        """Initialise liveness and schedule the first transition per peer.
+
+        ``initial_online_fraction`` defaults to the stationary availability
+        so the network starts in steady state rather than all-online.
+        """
+        if not self.config.enabled:
+            return
+        fraction = (
+            self.config.availability
+            if initial_online_fraction is None
+            else initial_online_fraction
+        )
+        if not 0.0 <= fraction <= 1.0:
+            raise ParameterError(
+                f"initial_online_fraction must be in [0, 1], got {fraction}"
+            )
+        for peer in self.population:
+            online = bool(self.rng.random() < fraction)
+            self.population.set_online(peer.peer_id, online, self.simulation.now)
+            self._schedule_next(peer.peer_id)
+
+    def _schedule_next(self, peer_id: PeerId) -> None:
+        online = self.population.is_online(peer_id)
+        mean = self.config.mean_session if online else self.config.mean_offline
+        delay = float(self.rng.exponential(mean))
+        self.simulation.schedule_in(
+            delay, lambda: self._transition(peer_id), label=f"churn:{peer_id}"
+        )
+
+    def _transition(self, peer_id: PeerId) -> None:
+        now = self.simulation.now
+        new_state = not self.population.is_online(peer_id)
+        self.population.set_online(peer_id, new_state, now)
+        self.transitions += 1
+        for listener in self._listeners:
+            listener(peer_id, now, new_state)
+        self._schedule_next(peer_id)
+
+    # ------------------------------------------------------------------
+    def observed_availability(self) -> float:
+        """Current online fraction (one sample, not a time average)."""
+        return self.population.online_count / len(self.population)

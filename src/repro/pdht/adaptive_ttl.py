@@ -1,0 +1,172 @@
+"""Self-tuning ``keyTtl`` — the paper's declared future work.
+
+Section 5.1.1: "The value of keyTtl can be calculated by estimating
+cSUnstr, cSIndx, and cIndKey. [...] A mechanism to self-tune keyTtl based
+on the query distribution and frequency is part of future work."
+
+This module implements that mechanism. Peers already *observe* every
+quantity the formula needs:
+
+* ``cSUnstr`` — the measured message cost of their broadcast searches;
+* ``cSIndx`` — the measured cost of their index searches (lookup + replica
+  flood);
+* ``cIndKey`` — maintenance traffic divided by the current index size.
+
+:class:`AdaptiveTtlController` keeps exponentially-weighted moving
+averages of those observations and periodically retargets every member's
+TTL to ``keyTtl = (cSUnstr - cSIndx) / cIndKey`` (the reciprocal of
+Eq. 2's ``fMin``), clamped to a configurable band. Because the estimates
+track the live network, the TTL follows query-frequency changes
+automatically — the adaptivity the paper claims in Section 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.pdht.network import PdhtNetwork
+from repro.sim.metrics import MessageCategory
+
+__all__ = ["CostEstimates", "AdaptiveTtlController"]
+
+
+@dataclass
+class CostEstimates:
+    """EWMA estimates of the three Eq. 2 inputs."""
+
+    c_search_unstructured: float = 0.0
+    c_search_index: float = 0.0
+    c_index_key_per_round: float = 0.0
+    samples_unstructured: int = 0
+    samples_index: int = 0
+
+    def ttl_target(self) -> float | None:
+        """The implied ``keyTtl = (cSUnstr - cSIndx) / cIndKey``.
+
+        None while estimates are not yet usable (no broadcast observed, or
+        the index search is not cheaper than broadcast).
+        """
+        if self.samples_unstructured == 0 or self.samples_index == 0:
+            return None
+        advantage = self.c_search_unstructured - self.c_search_index
+        if advantage <= 0 or self.c_index_key_per_round <= 0:
+            return None
+        return advantage / self.c_index_key_per_round
+
+
+class AdaptiveTtlController:
+    """Observes a :class:`PdhtNetwork` and retargets its ``keyTtl``.
+
+    Parameters
+    ----------
+    network:
+        The network to tune.
+    alpha:
+        EWMA smoothing factor for per-query cost observations.
+    retarget_interval:
+        Rounds between TTL retargets.
+    min_ttl / max_ttl:
+        Clamp band for the retargeted TTL (guards against degenerate
+        estimates early in a run).
+    """
+
+    def __init__(
+        self,
+        network: PdhtNetwork,
+        alpha: float = 0.05,
+        retarget_interval: float = 300.0,
+        min_ttl: float = 30.0,
+        max_ttl: float = 1_000_000.0,
+    ) -> None:
+        if not 0 < alpha <= 1:
+            raise ParameterError(f"alpha must be in (0, 1], got {alpha}")
+        if retarget_interval <= 0:
+            raise ParameterError(
+                f"retarget_interval must be > 0, got {retarget_interval}"
+            )
+        if min_ttl < 0 or max_ttl < min_ttl:
+            raise ParameterError(
+                f"need 0 <= min_ttl <= max_ttl, got [{min_ttl}, {max_ttl}]"
+            )
+        self.network = network
+        self.alpha = alpha
+        self.retarget_interval = retarget_interval
+        self.min_ttl = min_ttl
+        self.max_ttl = max_ttl
+        self.estimates = CostEstimates()
+        self.retargets: list[tuple[float, float]] = []
+        self._last_maintenance_total = 0.0
+        self._last_maintenance_time = network.simulation.now
+        self._controller = network.simulation.every(
+            retarget_interval, self._retarget, label="adaptive-ttl"
+        )
+
+    # ------------------------------------------------------------------
+    # Observation hooks (called by the strategy / application layer)
+    # ------------------------------------------------------------------
+    def observe_broadcast(self, messages: int) -> None:
+        """Record one broadcast search's measured cost."""
+        est = self.estimates
+        if est.samples_unstructured == 0:
+            est.c_search_unstructured = float(messages)
+        else:
+            est.c_search_unstructured += self.alpha * (
+                messages - est.c_search_unstructured
+            )
+        est.samples_unstructured += 1
+
+    def observe_index_search(self, messages: int) -> None:
+        """Record one index search's measured cost (lookup + flood)."""
+        est = self.estimates
+        if est.samples_index == 0:
+            est.c_search_index = float(messages)
+        else:
+            est.c_search_index += self.alpha * (messages - est.c_search_index)
+        est.samples_index += 1
+
+    def observe_query_outcome(self, outcome) -> None:
+        """Convenience: feed a :class:`~repro.pdht.network.QueryOutcome`."""
+        index_cost = outcome.index_messages + outcome.flood_messages
+        if index_cost > 0:
+            self.observe_index_search(index_cost)
+        if outcome.walk_messages > 0:
+            self.observe_broadcast(outcome.walk_messages)
+
+    # ------------------------------------------------------------------
+    def _update_maintenance_estimate(self) -> None:
+        """Refresh cIndKey from maintenance traffic since the last check."""
+        now = self.network.simulation.now
+        total = self.network.metrics.total(MessageCategory.MAINTENANCE)
+        elapsed = now - self._last_maintenance_time
+        if elapsed <= 0:
+            return
+        delta = total - self._last_maintenance_total
+        index_size = max(1, self.network.distinct_indexed_keys())
+        per_key_per_round = delta / elapsed / index_size
+        est = self.estimates
+        if est.c_index_key_per_round == 0.0:
+            est.c_index_key_per_round = per_key_per_round
+        else:
+            est.c_index_key_per_round += self.alpha * (
+                per_key_per_round - est.c_index_key_per_round
+            )
+        self._last_maintenance_total = total
+        self._last_maintenance_time = now
+
+    def _retarget(self) -> None:
+        self._update_maintenance_estimate()
+        target = self.estimates.ttl_target()
+        if target is None:
+            return
+        clamped = min(self.max_ttl, max(self.min_ttl, target))
+        self.network.set_key_ttl(clamped)
+        self.retargets.append((self.network.simulation.now, clamped))
+
+    # ------------------------------------------------------------------
+    @property
+    def current_ttl(self) -> float:
+        return self.network.policy.key_ttl
+
+    def stop(self) -> None:
+        self._controller.cancel()

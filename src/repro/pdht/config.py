@@ -1,0 +1,97 @@
+"""PDHT configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.analysis.parameters import ScenarioParameters
+from repro.analysis.threshold import solve_threshold
+from repro.errors import ParameterError
+
+__all__ = ["PdhtConfig"]
+
+
+@dataclass(frozen=True)
+class PdhtConfig:
+    """Tuning knobs of a PDHT deployment.
+
+    Attributes
+    ----------
+    key_ttl:
+        Expiration time (rounds) of an index entry that receives no
+        queries. The paper chooses ``1/fMin``;
+        :meth:`from_scenario` derives that value analytically.
+    replication:
+        Index replication factor ``repl`` (replica group size).
+    storage_per_peer:
+        Index slots each DHT member contributes (``stor``); bounds how many
+        peers must join the DHT for a given index size.
+    dht_kind:
+        Structured backend: 'chord', 'pastry' or 'pgrid'.
+    overlay_degree:
+        Connections per peer in the unstructured overlay.
+    walkers / walk_ttl:
+        Random-walk search parameters ([LvCa02]).
+    replica_degree:
+        Connections per replica inside a replica subnetwork.
+    """
+
+    key_ttl: float = 1800.0
+    replication: int = 10
+    storage_per_peer: int = 100
+    dht_kind: str = "pgrid"
+    overlay_degree: int = 4
+    walkers: int = 8
+    walk_ttl: int = 4096
+    replica_degree: int = 3
+    #: Enforce ``storage_per_peer`` as a hard per-member slot limit. Off by
+    #: default: the paper uses ``stor`` to size ``numActivePeers``, not as a
+    #: drop policy, and enforcing it would confound the TTL eviction results.
+    enforce_capacity: bool = False
+
+    def __post_init__(self) -> None:
+        if self.key_ttl < 0:
+            raise ParameterError(f"key_ttl must be >= 0, got {self.key_ttl}")
+        if self.replication < 1:
+            raise ParameterError(
+                f"replication must be >= 1, got {self.replication}"
+            )
+        if self.storage_per_peer < 1:
+            raise ParameterError(
+                f"storage_per_peer must be >= 1, got {self.storage_per_peer}"
+            )
+        if self.dht_kind.lower() not in {"chord", "pastry", "pgrid", "can"}:
+            raise ParameterError(f"unknown dht_kind {self.dht_kind!r}")
+        if self.overlay_degree < 1:
+            raise ParameterError(
+                f"overlay_degree must be >= 1, got {self.overlay_degree}"
+            )
+        if self.walkers < 1:
+            raise ParameterError(f"walkers must be >= 1, got {self.walkers}")
+        if self.walk_ttl < 1:
+            raise ParameterError(f"walk_ttl must be >= 1, got {self.walk_ttl}")
+        if self.replica_degree < 1:
+            raise ParameterError(
+                f"replica_degree must be >= 1, got {self.replica_degree}"
+            )
+
+    def with_ttl(self, key_ttl: float) -> "PdhtConfig":
+        return replace(self, key_ttl=key_ttl)
+
+    @classmethod
+    def from_scenario(
+        cls, params: ScenarioParameters, **overrides
+    ) -> "PdhtConfig":
+        """Derive the paper's configuration from scenario parameters.
+
+        ``key_ttl`` is set to the analytical ``1/fMin`` (Section 5.1.1);
+        replication and storage come straight from Table 1.
+        """
+        threshold = solve_threshold(params)
+        defaults = dict(
+            key_ttl=threshold.key_ttl,
+            replication=params.replication,
+            storage_per_peer=params.storage_per_peer,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)

@@ -1,0 +1,165 @@
+"""The TTL key store — Section 5.1's eviction mechanism.
+
+"Each key has an expiration time keyTtl [...]. The expiration time of a
+key is reset to a predefined value whenever the peer that stores the key
+receives a query for it. Therefore, peers evict those keys from their
+local storage that have not been queried for keyTtl rounds."
+
+The store is lazy: expired entries are purged when touched or when
+:meth:`TtlKeyStore.purge_expired` runs (the strategies call it once per
+reporting window), so no per-entry timers burden the event loop. All
+operations are O(1) amortised except purge, which is linear in the number
+of *expired* entries thanks to an expiry-ordered auxiliary heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ParameterError
+
+__all__ = ["TtlEntry", "TtlKeyStore"]
+
+
+@dataclass
+class TtlEntry:
+    """One stored key: value, expiry, and access statistics."""
+
+    key: str
+    value: object
+    expires_at: float
+    inserted_at: float
+    hits: int = 0
+
+
+class TtlKeyStore:
+    """A key-value store whose entries expire ``ttl`` rounds after their
+    last query.
+
+    Parameters
+    ----------
+    ttl:
+        Default expiration horizon in rounds (``keyTtl``). Zero means
+        entries expire immediately (degenerates to no index).
+    capacity:
+        Optional hard slot limit (``stor`` in the paper). When full, the
+        entry closest to expiry is evicted first — the natural
+        generalisation of the paper's policy to bounded storage.
+    """
+
+    def __init__(self, ttl: float, capacity: int | None = None) -> None:
+        if ttl < 0:
+            raise ParameterError(f"ttl must be >= 0, got {ttl}")
+        if capacity is not None and capacity < 1:
+            raise ParameterError(f"capacity must be >= 1, got {capacity}")
+        self.ttl = float(ttl)
+        self.capacity = capacity
+        self._entries: dict[str, TtlEntry] = {}
+        #: (expires_at, key) heap; entries may be stale (expiry was reset),
+        #: validated against ``_entries`` on pop.
+        self._expiry_heap: list[tuple[float, str]] = []
+        self.insertions = 0
+        self.evictions_expired = 0
+        self.evictions_capacity = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    # ------------------------------------------------------------------
+    def insert(self, key: str, value: object, now: float, ttl: float | None = None) -> TtlEntry:
+        """Insert or overwrite ``key``; (re)arms its expiration clock."""
+        ttl = self.ttl if ttl is None else ttl
+        if ttl < 0:
+            raise ParameterError(f"ttl must be >= 0, got {ttl}")
+        self.purge_expired(now)
+        if (
+            self.capacity is not None
+            and key not in self._entries
+            and len(self._entries) >= self.capacity
+        ):
+            self._evict_soonest(now)
+        entry = TtlEntry(
+            key=key, value=value, expires_at=now + ttl, inserted_at=now
+        )
+        self._entries[key] = entry
+        heapq.heappush(self._expiry_heap, (entry.expires_at, key))
+        self.insertions += 1
+        return entry
+
+    def query(self, key: str, now: float) -> TtlEntry | None:
+        """Look up ``key``; a hit resets its expiration to ``now + ttl``.
+
+        Returns None on a miss, including the case where the entry expired
+        before ``now`` (it is purged on the spot).
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if entry.expires_at <= now:
+            del self._entries[key]
+            self.evictions_expired += 1
+            return None
+        entry.hits += 1
+        entry.expires_at = now + self.ttl
+        heapq.heappush(self._expiry_heap, (entry.expires_at, key))
+        return entry
+
+    def peek(self, key: str, now: float) -> TtlEntry | None:
+        """Like :meth:`query` but without resetting the expiration."""
+        entry = self._entries.get(key)
+        if entry is None or entry.expires_at <= now:
+            return None
+        return entry
+
+    def remove(self, key: str) -> bool:
+        """Explicitly drop ``key``; True if it was present."""
+        return self._entries.pop(key, None) is not None
+
+    # ------------------------------------------------------------------
+    def purge_expired(self, now: float) -> int:
+        """Evict every entry whose expiration passed; returns count."""
+        purged = 0
+        while self._expiry_heap and self._expiry_heap[0][0] <= now:
+            expires_at, key = heapq.heappop(self._expiry_heap)
+            entry = self._entries.get(key)
+            if entry is None or entry.expires_at != expires_at:
+                continue  # stale heap record: entry was refreshed or removed
+            if entry.expires_at <= now:
+                del self._entries[key]
+                self.evictions_expired += 1
+                purged += 1
+        return purged
+
+    def _evict_soonest(self, now: float) -> None:
+        """Capacity pressure: evict the entry closest to expiry."""
+        while self._expiry_heap:
+            expires_at, key = heapq.heappop(self._expiry_heap)
+            entry = self._entries.get(key)
+            if entry is None or entry.expires_at != expires_at:
+                continue
+            del self._entries[key]
+            self.evictions_capacity += 1
+            return
+        # Heap exhausted by stale records; drop an arbitrary entry.
+        if self._entries:
+            key = next(iter(self._entries))
+            del self._entries[key]
+            self.evictions_capacity += 1
+
+    # ------------------------------------------------------------------
+    def live_size(self, now: float) -> int:
+        """Number of unexpired entries (purges as a side effect)."""
+        self.purge_expired(now)
+        return len(self._entries)
+
+    def entries(self) -> list[TtlEntry]:
+        """Snapshot of all (possibly expired-but-unpurged) entries."""
+        return list(self._entries.values())

@@ -1,0 +1,29 @@
+"""Replica groups and update dissemination.
+
+Index entries are replicated with factor ``repl``; the replicas of a key
+"maintain an unstructured replica subnetwork among each other"
+(Section 3.3.2). Updates enter at one responsible peer and are gossiped
+through that subnetwork with the hybrid push/pull rumor-spreading algorithm
+of [DaHa03] (:mod:`repro.replication.rumor`); under the Section 5
+selection algorithm the same subnetwork is *flooded at query time* instead
+(the ``repl * dup2`` term of Eq. 16), which
+:class:`repro.replication.replica_network.ReplicaNetwork` implements.
+"""
+
+from repro.replication.replica_network import ReplicaNetwork
+from repro.replication.rumor import RumorConfig, RumorSpread, UpdateOutcome
+from repro.replication.availability import (
+    AvailabilityMonitor,
+    availability_of,
+    replication_for_availability,
+)
+
+__all__ = [
+    "ReplicaNetwork",
+    "RumorConfig",
+    "RumorSpread",
+    "UpdateOutcome",
+    "AvailabilityMonitor",
+    "availability_of",
+    "replication_for_availability",
+]

@@ -1,0 +1,145 @@
+"""Replication planning to meet target availability [VaCh02].
+
+Section 4: "We assume that there exists a mechanism to determine a proper
+replication factor for the index and content files to meet target levels
+of availability [...] [VaCh02]. Such mechanisms lie beyond this work."
+
+This module builds that assumed mechanism so the system is closed:
+
+* :func:`replication_for_availability` — the closed-form planner: with
+  per-peer availability ``a``, ``P(>=1 of r replicas online) =
+  1 - (1-a)^r``, so the minimum factor meeting target ``t`` is
+  ``r = ceil(log(1-t) / log(1-a))``;
+* :class:`AvailabilityMonitor` — the online variant: estimates ``a`` from
+  observed liveness samples (e.g. replica probe outcomes) and recommends
+  a factor, with hysteresis so the recommendation does not flap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "replication_for_availability",
+    "availability_of",
+    "AvailabilityMonitor",
+]
+
+
+def availability_of(replication: int, peer_availability: float) -> float:
+    """P(at least one of ``replication`` replicas is online)."""
+    if replication < 1:
+        raise ParameterError(f"replication must be >= 1, got {replication}")
+    if not 0.0 <= peer_availability <= 1.0:
+        raise ParameterError(
+            f"peer_availability must be in [0, 1], got {peer_availability}"
+        )
+    return 1.0 - (1.0 - peer_availability) ** replication
+
+
+def replication_for_availability(
+    target: float, peer_availability: float, max_replication: int = 10_000
+) -> int:
+    """Minimum replication factor meeting ``target`` availability.
+
+    Raises :class:`ParameterError` if the target is unreachable within
+    ``max_replication`` (e.g. peers that are never online).
+    """
+    if not 0.0 < target < 1.0:
+        raise ParameterError(f"target must be in (0, 1), got {target}")
+    if not 0.0 <= peer_availability <= 1.0:
+        raise ParameterError(
+            f"peer_availability must be in [0, 1], got {peer_availability}"
+        )
+    if peer_availability == 0.0:
+        raise ParameterError("target unreachable: peers are never online")
+    if peer_availability == 1.0:
+        return 1
+    needed = math.ceil(math.log(1.0 - target) / math.log(1.0 - peer_availability))
+    needed = max(1, needed)
+    if needed > max_replication:
+        raise ParameterError(
+            f"target {target} needs replication {needed} > cap {max_replication}"
+        )
+    return needed
+
+
+@dataclass
+class AvailabilityMonitor:
+    """Online availability estimation with a hysteretic recommendation.
+
+    Feed it liveness observations (``record(online=...)``, e.g. one per
+    replica probe); it keeps an exponentially-weighted availability
+    estimate and recommends a replication factor for the configured
+    target. The recommendation only changes when the newly computed factor
+    differs from the current one by more than ``hysteresis`` — replica
+    re-placement is expensive, so small estimate wobbles must not trigger
+    it (the flap-damping [VaCh02]'s controller needs).
+    """
+
+    target: float
+    alpha: float = 0.05
+    hysteresis: int = 2
+    initial_availability: float = 0.5
+    #: Hard cap on the recommendation: when the availability estimate is so
+    #: low the target is out of reach, recommend the cap instead of failing
+    #: (the controller must stay operable through outage bursts).
+    max_replication: int = 1_000
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ParameterError(f"target must be in (0, 1), got {self.target}")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ParameterError(f"alpha must be in (0, 1], got {self.alpha}")
+        if self.hysteresis < 0:
+            raise ParameterError(
+                f"hysteresis must be >= 0, got {self.hysteresis}"
+            )
+        if not 0.0 < self.initial_availability <= 1.0:
+            raise ParameterError(
+                "initial_availability must be in (0, 1], got "
+                f"{self.initial_availability}"
+            )
+        if self.max_replication < 1:
+            raise ParameterError(
+                f"max_replication must be >= 1, got {self.max_replication}"
+            )
+        self._estimate = self.initial_availability
+        self._samples = 0
+        self._current = self._plan()
+
+    def _plan(self) -> int:
+        """Replication for the current estimate, capped instead of failing."""
+        try:
+            return replication_for_availability(
+                self.target, self._estimate, self.max_replication
+            )
+        except ParameterError:
+            return self.max_replication
+
+    @property
+    def estimated_availability(self) -> float:
+        return self._estimate
+
+    @property
+    def samples(self) -> int:
+        return self._samples
+
+    def record(self, online: bool) -> None:
+        """Fold one liveness observation into the estimate."""
+        value = 1.0 if online else 0.0
+        self._estimate += self.alpha * (value - self._estimate)
+        # Clamp away from 0 so a burst of offline observations cannot make
+        # the target mathematically unreachable.
+        self._estimate = max(1e-6, self._estimate)
+        self._samples += 1
+
+    def recommended_replication(self) -> int:
+        """The (hysteresis-damped, capped) replication factor."""
+        fresh = self._plan()
+        if abs(fresh - self._current) > self.hysteresis:
+            self._current = fresh
+        return self._current

@@ -1,0 +1,151 @@
+"""The unstructured subnetwork connecting the replicas of one key group.
+
+Each replica group (the ``repl`` peers responsible for a key, or in
+practice for a partition of keys) keeps a sparse random graph among its
+members. Two operations run over it:
+
+* :meth:`ReplicaNetwork.flood` — query-time flooding: ask every reachable
+  replica whether it has a fresh copy (Eq. 16 charges this as
+  ``repl * dup2`` messages on top of the DHT lookup);
+* it is also the substrate :class:`~repro.replication.rumor.RumorSpread`
+  gossips updates over (Eq. 9's ``repl * dup2`` term).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Hashable
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ParameterError, TopologyError
+from repro.net.messages import MessageKind, MessageLog
+from repro.net.node import PeerId, PeerPopulation
+
+__all__ = ["ReplicaNetwork"]
+
+
+class ReplicaNetwork:
+    """A small random graph over one replica group.
+
+    Parameters
+    ----------
+    population:
+        Shared peer population (liveness source).
+    members:
+        The replica group (e.g. the ``repl`` holders of a key).
+    rng:
+        Randomness for graph construction.
+    degree:
+        Connections per replica; small (the paper's replica subnetworks are
+        sparse so that flooding them costs ~``repl * dup2``).
+    log:
+        Message log for cost accounting.
+    """
+
+    def __init__(
+        self,
+        population: PeerPopulation,
+        members: list[PeerId],
+        rng: np.random.Generator,
+        log: MessageLog,
+        degree: int = 3,
+    ) -> None:
+        if len(set(members)) != len(members):
+            raise ParameterError("replica group contains duplicates")
+        if len(members) < 1:
+            raise ParameterError("replica group must not be empty")
+        if degree < 1:
+            raise TopologyError(f"degree must be >= 1, got {degree}")
+        self.population = population
+        self.members = list(members)
+        self.log = log
+        self.graph = self._build_graph(rng, degree)
+
+    def _build_graph(self, rng: np.random.Generator, degree: int) -> nx.Graph:
+        n = len(self.members)
+        graph = nx.Graph()
+        graph.add_nodes_from(self.members)
+        if n == 1:
+            return graph
+        d = min(degree, n - 1)
+        if (d * n) % 2 != 0:
+            # Regular graphs need even degree*size; nudge the degree down.
+            d = max(1, d - 1)
+        if d * n % 2 != 0 or d >= n:
+            # Tiny groups: fall back to a cycle.
+            ordered = list(self.members)
+            for a, b in zip(ordered, ordered[1:] + ordered[:1]):
+                if a != b:
+                    graph.add_edge(a, b)
+            return graph
+        seed = int(rng.integers(0, 2**31 - 1))
+        template = nx.random_regular_graph(d, n, seed=seed)
+        if not nx.is_connected(template):
+            components = [sorted(c) for c in nx.connected_components(template)]
+            for left, right in zip(components, components[1:]):
+                template.add_edge(left[0], right[0])
+        relabel = dict(enumerate(self.members))
+        return nx.relabel_nodes(template, relabel)
+
+    # ------------------------------------------------------------------
+    def online_members(self) -> list[PeerId]:
+        return [m for m in self.members if self.population.is_online(m)]
+
+    def online_neighbors(self, member: PeerId) -> list[PeerId]:
+        return [
+            n for n in sorted(self.graph.neighbors(member))
+            if self.population.is_online(n)
+        ]
+
+    # ------------------------------------------------------------------
+    def flood(
+        self,
+        origin: PeerId,
+        predicate: Callable[[PeerId], bool] | None = None,
+        payload: Hashable = None,
+    ) -> tuple[list[PeerId], int]:
+        """Flood the subnetwork from ``origin``; returns (hits, messages).
+
+        ``predicate`` marks which reached replicas count as hits (e.g.
+        "has a live copy of key k"); with no predicate, all reached
+        replicas are hits. Every traversed edge costs one message,
+        duplicates included — this is where the measured ``dup2`` comes
+        from.
+        """
+        if origin not in self.graph:
+            raise ParameterError(f"peer {origin} is not in this replica group")
+        self.population[origin].require_online()
+        predicate = predicate or (lambda _: True)
+
+        hits: list[PeerId] = []
+        if predicate(origin):
+            hits.append(origin)
+        seen: set[PeerId] = {origin}
+        messages = 0
+        frontier: deque[tuple[PeerId, PeerId | None]] = deque([(origin, None)])
+        while frontier:
+            peer, came_from = frontier.popleft()
+            for neighbor in self.online_neighbors(peer):
+                if neighbor == came_from:
+                    continue
+                self.log.send(MessageKind.REPLICA_FLOOD, peer, neighbor, payload)
+                messages += 1
+                if neighbor in seen:
+                    continue
+                seen.add(neighbor)
+                if predicate(neighbor):
+                    hits.append(neighbor)
+                frontier.append((neighbor, peer))
+        return hits, messages
+
+    def measured_dup2(self) -> float:
+        """Graph-level duplication factor of a full flood (2E/V online)."""
+        nodes = self.online_members()
+        if not nodes:
+            return 0.0
+        live = self.graph.subgraph(nodes)
+        if live.number_of_nodes() == 0:
+            return 0.0
+        return 2.0 * live.number_of_edges() / live.number_of_nodes()

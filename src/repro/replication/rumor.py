@@ -1,0 +1,185 @@
+"""Hybrid push/pull rumor spreading between replicas [DaHa03].
+
+Updates enter the index at one responsible peer (one DHT lookup, the
+``cSIndx`` term of Eq. 9) and then spread epidemically through the replica
+subnetwork:
+
+* **push** — an infected (updated) replica forwards the rumor to its online
+  neighbours for a bounded number of rounds;
+* **pull** — replicas that were *offline* during the push phase ask a
+  random neighbour for missed updates when they come back online.
+
+The message count of a completed dissemination is ~``repl * dup2``, which
+is what Eq. 9 charges per update. :class:`RumorSpread` tracks per-replica
+versions so tests can verify eventual consistency under churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.net.messages import MessageKind
+from repro.net.node import PeerId
+from repro.replication.replica_network import ReplicaNetwork
+
+__all__ = ["RumorConfig", "UpdateOutcome", "RumorSpread"]
+
+
+@dataclass(frozen=True)
+class RumorConfig:
+    """Epidemic parameters.
+
+    Attributes
+    ----------
+    push_rounds:
+        Maximum flood depth of the push phase; None (default) means
+        unbounded — the BFS stops when the frontier empties, so it always
+        terminates and always covers the connected online component. A
+        finite cap matters only for replica subnetworks that degrade to
+        long cycles (odd group sizes force degree 2), whose diameter can
+        exceed any fixed constant.
+    push_fanout:
+        Upper bound on neighbours forwarded to per replica (None = all
+        online neighbours, the default). Lowering it trades coverage for
+        messages.
+    """
+
+    push_rounds: int | None = None
+    push_fanout: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.push_rounds is not None and self.push_rounds < 1:
+            raise ParameterError(f"push_rounds must be >= 1, got {self.push_rounds}")
+        if self.push_fanout is not None and self.push_fanout < 1:
+            raise ParameterError(f"push_fanout must be >= 1, got {self.push_fanout}")
+
+
+@dataclass(frozen=True)
+class UpdateOutcome:
+    """Result of disseminating one update version."""
+
+    version: int
+    infected: int
+    online_replicas: int
+    messages: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of online replicas reached by the push phase."""
+        if self.online_replicas == 0:
+            return 0.0
+        return self.infected / self.online_replicas
+
+
+class RumorSpread:
+    """Versioned update dissemination over one replica subnetwork."""
+
+    def __init__(
+        self,
+        network: ReplicaNetwork,
+        config: RumorConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.network = network
+        self.config = config
+        self.rng = rng
+        #: Latest version each replica has applied (0 = initial state).
+        self.versions: dict[PeerId, int] = {m: 0 for m in network.members}
+        self.latest_version = 0
+
+    # ------------------------------------------------------------------
+    def publish(self, origin: PeerId) -> UpdateOutcome:
+        """Inject a new version at ``origin`` and push it epidemically."""
+        if origin not in self.versions:
+            raise ParameterError(f"peer {origin} is not a replica")
+        self.network.population[origin].require_online()
+
+        self.latest_version += 1
+        version = self.latest_version
+        self.versions[origin] = version
+        messages = 0
+
+        # Push phase: a depth-bounded flood of the replica subnetwork. Every
+        # infected replica forwards the rumor to all its online neighbours
+        # except the one it arrived from; duplicate receptions are counted
+        # (that is the dup2 surplus of Eq. 9) but not re-forwarded. Depth is
+        # bounded by push_rounds, far above the subnetwork diameter.
+        infected = {origin}
+        frontier: list[tuple[PeerId, PeerId | None]] = [(origin, None)]
+        depth = 0
+        while frontier:
+            if (
+                self.config.push_rounds is not None
+                and depth >= self.config.push_rounds
+            ):
+                break
+            depth += 1
+            next_frontier: list[tuple[PeerId, PeerId | None]] = []
+            for peer, came_from in frontier:
+                neighbors = [
+                    n for n in self.network.online_neighbors(peer)
+                    if n != came_from
+                ]
+                fanout = self.config.push_fanout
+                if fanout is not None and fanout < len(neighbors):
+                    picks = self.rng.choice(
+                        len(neighbors), size=fanout, replace=False
+                    )
+                    neighbors = [neighbors[int(i)] for i in picks]
+                for neighbor in neighbors:
+                    self.network.log.send(
+                        MessageKind.GOSSIP_PUSH, peer, neighbor, version
+                    )
+                    messages += 1
+                    if neighbor in infected:
+                        continue
+                    infected.add(neighbor)
+                    if self.versions[neighbor] < version:
+                        self.versions[neighbor] = version
+                    next_frontier.append((neighbor, peer))
+            frontier = next_frontier
+
+        online = set(self.network.online_members())
+        return UpdateOutcome(
+            version=version,
+            infected=len(infected & online),
+            online_replicas=len(online),
+            messages=messages,
+        )
+
+    # ------------------------------------------------------------------
+    def pull(self, peer: PeerId) -> int:
+        """Pull missed updates after rejoining; returns messages spent.
+
+        The peer asks online neighbours until one has a newer version (or
+        none do). One request plus one response per contacted neighbour.
+        """
+        if peer not in self.versions:
+            raise ParameterError(f"peer {peer} is not a replica")
+        self.network.population[peer].require_online()
+        messages = 0
+        for neighbor in self.network.online_neighbors(peer):
+            self.network.log.send(MessageKind.GOSSIP_PULL, peer, neighbor)
+            self.network.log.send(MessageKind.GOSSIP_PULL, neighbor, peer)
+            messages += 2
+            if self.versions[neighbor] > self.versions[peer]:
+                self.versions[peer] = self.versions[neighbor]
+                break
+        return messages
+
+    # ------------------------------------------------------------------
+    def is_consistent(self) -> bool:
+        """Do all *online* replicas hold the latest version?"""
+        return all(
+            self.versions[m] == self.latest_version
+            for m in self.network.online_members()
+        )
+
+    def staleness(self) -> dict[PeerId, int]:
+        """Versions-behind-latest per replica (0 = fresh)."""
+        return {
+            m: self.latest_version - v for m, v in self.versions.items()
+        }

@@ -1,0 +1,184 @@
+"""A minimal, deterministic discrete-event simulation engine.
+
+Design notes
+------------
+* Time is a non-negative float number of *rounds*; the paper fixes one round
+  to one second, so times read as seconds.
+* Events scheduled for the same time fire in scheduling order (FIFO via a
+  monotonically increasing sequence number), which keeps runs deterministic
+  under a fixed seed.
+* Handlers are plain callables. A handler may schedule further events,
+  including at the current time (they run later the same round).
+* Recurring processes are expressed with :meth:`Simulation.every`, which
+  re-schedules itself until cancelled or until the horizon is reached.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "Simulation"]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    event: "Event" = field(compare=False)
+
+
+@dataclass
+class Event:
+    """A scheduled callback. Returned by the scheduling API for cancellation."""
+
+    action: Callable[[], None]
+    label: str = ""
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self.cancelled = True
+
+
+class Simulation:
+    """Event-list simulation with float time measured in rounds (seconds).
+
+    Examples
+    --------
+    >>> sim = Simulation()
+    >>> fired = []
+    >>> _ = sim.schedule_at(5.0, lambda: fired.append(sim.now))
+    >>> sim.run(until=10.0)
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in rounds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events that have fired so far."""
+        return self._processed
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self, time: float, action: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``action`` to fire at absolute ``time``.
+
+        Scheduling in the past raises :class:`SimulationError`; scheduling
+        at the current time is allowed and fires later within the same round.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now is t={self._now})"
+            )
+        event = Event(action=action, label=label)
+        heapq.heappush(
+            self._queue, _ScheduledEvent(time, next(self._sequence), event)
+        )
+        return event
+
+    def schedule_in(
+        self, delay: float, action: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``action`` to fire ``delay`` rounds from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self._now + delay, action, label)
+
+    def every(
+        self,
+        interval: float,
+        action: Callable[[], None],
+        label: str = "",
+        start: Optional[float] = None,
+    ) -> Event:
+        """Run ``action`` every ``interval`` rounds until cancelled.
+
+        Returns the *controller* event; calling :meth:`Event.cancel` on it
+        stops all future firings. The first firing happens at ``start``
+        (default: one interval from now).
+        """
+        if interval <= 0:
+            raise SimulationError(f"interval must be > 0, got {interval}")
+        controller = Event(action=action, label=label or "recurring")
+
+        def fire() -> None:
+            if controller.cancelled:
+                return
+            action()
+            if not controller.cancelled:
+                self.schedule_in(interval, fire, label=controller.label)
+
+        first = self._now + interval if start is None else start
+        self.schedule_at(first, fire, label=controller.label)
+        return controller
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: float, max_events: int | None = None) -> None:
+        """Process events in time order until ``until`` (inclusive).
+
+        ``max_events`` is a safety valve against runaway self-scheduling
+        loops; exceeding it raises :class:`SimulationError`.
+        """
+        if self._running:
+            raise SimulationError("run() is not re-entrant")
+        if until < self._now:
+            raise SimulationError(
+                f"cannot run until t={until} (now is t={self._now})"
+            )
+        self._running = True
+        try:
+            processed_here = 0
+            while self._queue and self._queue[0].time <= until:
+                scheduled = heapq.heappop(self._queue)
+                self._now = scheduled.time
+                if scheduled.event.cancelled:
+                    continue
+                scheduled.event.action()
+                self._processed += 1
+                processed_here += 1
+                if max_events is not None and processed_here >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} before t={until}"
+                    )
+            self._now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Process exactly one pending event. Returns False when idle."""
+        while self._queue:
+            scheduled = heapq.heappop(self._queue)
+            if scheduled.event.cancelled:
+                continue
+            self._now = scheduled.time
+            scheduled.event.action()
+            self._processed += 1
+            return True
+        return False

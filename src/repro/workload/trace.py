@@ -1,0 +1,141 @@
+"""Query-trace recording and replay.
+
+Experiments become comparable across strategies only when every strategy
+sees the *same* query sequence. :class:`QueryTrace` captures a workload's
+emitted events, serialises to/from JSON, and replays deterministically —
+the standard trace-driven-simulation workflow.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import ParameterError
+from repro.workload.queries import QueryEvent, QueryWorkload
+
+__all__ = ["QueryTrace", "record_trace"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class QueryTrace:
+    """An ordered list of query events with serialisation."""
+
+    events: list[QueryEvent] = field(default_factory=list)
+    n_keys: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.n_keys < 0:
+            raise ParameterError(f"n_keys must be >= 0, got {self.n_keys}")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[QueryEvent]:
+        return iter(self.events)
+
+    def append(self, event: QueryEvent) -> None:
+        if self.events and event.time < self.events[-1].time:
+            raise ParameterError(
+                f"trace must be time-ordered ({event.time} < "
+                f"{self.events[-1].time})"
+            )
+        if self.n_keys and not 0 <= event.key_index < self.n_keys:
+            raise ParameterError(
+                f"key_index {event.key_index} outside universe of {self.n_keys}"
+            )
+        self.events.append(event)
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def events_between(self, start: float, end: float) -> list[QueryEvent]:
+        """Events with ``start <= time < end`` (replay one round at a time)."""
+        if end < start:
+            raise ParameterError(f"need start <= end, got [{start}, {end})")
+        return [e for e in self.events if start <= e.time < end]
+
+    def duration(self) -> float:
+        if not self.events:
+            return 0.0
+        return self.events[-1].time - self.events[0].time
+
+    def queries_per_second(self) -> float:
+        span = self.duration()
+        if span <= 0:
+            return 0.0
+        return len(self.events) / span
+
+    def rank_histogram(self) -> dict[int, int]:
+        """Query count per rank (workload-shape diagnostics)."""
+        histogram: dict[int, int] = {}
+        for event in self.events:
+            histogram[event.rank] = histogram.get(event.rank, 0) + 1
+        return histogram
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "n_keys": self.n_keys,
+            "description": self.description,
+            "events": [
+                [event.time, event.rank, event.key_index] for event in self.events
+            ],
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "QueryTrace":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ParameterError(f"not a valid trace: {exc}") from exc
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ParameterError(
+                f"unsupported trace version {payload.get('version')!r}"
+            )
+        trace = cls(
+            n_keys=int(payload.get("n_keys", 0)),
+            description=str(payload.get("description", "")),
+        )
+        for time, rank, key_index in payload["events"]:
+            trace.append(
+                QueryEvent(time=float(time), rank=int(rank), key_index=int(key_index))
+            )
+        return trace
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "QueryTrace":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def record_trace(
+    workload: QueryWorkload,
+    duration: float,
+    queries_per_round: int,
+    description: str = "",
+) -> QueryTrace:
+    """Drive a workload for ``duration`` rounds and capture the stream."""
+    if duration <= 0:
+        raise ParameterError(f"duration must be > 0, got {duration}")
+    if queries_per_round < 0:
+        raise ParameterError(
+            f"queries_per_round must be >= 0, got {queries_per_round}"
+        )
+    trace = QueryTrace(n_keys=workload.n_keys, description=description)
+    for round_index in range(int(duration)):
+        now = float(round_index)
+        for event in workload.draw(now, queries_per_round):
+            trace.append(event)
+    return trace

@@ -1,0 +1,79 @@
+"""Tests for continuous crossover solving."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.crossover import (
+    find_crossover,
+    index_all_vs_no_index,
+    selection_vs_index_all,
+)
+from repro.analysis.strategies import cost_index_all, cost_no_index
+from repro.errors import ParameterError
+
+
+class TestIndexAllVsNoIndex:
+    def test_crossover_in_fig1_band(self, paper_params):
+        crossover = index_all_vs_no_index(paper_params)
+        assert crossover is not None
+        # Fig. 1's curves cross between 1/1800 and 1/600.
+        assert 1 / 1800 < crossover < 1 / 600
+
+    def test_costs_actually_cross_there(self, paper_params):
+        crossover = index_all_vs_no_index(paper_params)
+        below = paper_params.with_query_freq(crossover * 0.9)
+        above = paper_params.with_query_freq(crossover * 1.1)
+        assert cost_index_all(below) > cost_no_index(below)
+        assert cost_index_all(above) < cost_no_index(above)
+
+    def test_none_when_no_crossover_in_range(self, paper_params):
+        # Restrict to the busy end where indexAll always wins.
+        result = index_all_vs_no_index(
+            paper_params, freq_bounds=(1 / 60, 1 / 30)
+        )
+        assert result is None
+
+
+class TestSelectionVsIndexAll:
+    def test_crossover_matches_fig4_zero(self, paper_params):
+        crossover = selection_vs_index_all(paper_params)
+        assert crossover is not None
+        # Fig. 4's solid curve crosses zero between 1/300 and 1/120.
+        assert 1 / 300 < crossover < 1 / 120
+
+    def test_sign_of_savings_flips(self, paper_params):
+        from repro.analysis.selection_model import SelectionModel
+
+        crossover = selection_vs_index_all(paper_params)
+        below = SelectionModel(
+            paper_params.with_query_freq(crossover * 0.8)
+        ).outcome()
+        above = SelectionModel(
+            paper_params.with_query_freq(crossover * 1.25)
+        ).outcome()
+        assert below.savings_vs_index_all > 0
+        assert above.savings_vs_index_all < 0
+
+
+class TestEngine:
+    def test_invalid_bounds_rejected(self, paper_params):
+        with pytest.raises(ParameterError):
+            find_crossover(paper_params, lambda p: 0.0, freq_bounds=(1.0, 0.5))
+
+    def test_exact_zero_at_bound(self, paper_params):
+        result = find_crossover(
+            paper_params,
+            lambda p: p.query_freq - 1 / 100,
+            freq_bounds=(1 / 100, 1 / 10),
+        )
+        assert result == pytest.approx(1 / 100)
+
+    def test_linear_difference_found_precisely(self, paper_params):
+        target = 1 / 500
+        result = find_crossover(
+            paper_params,
+            lambda p: p.query_freq - target,
+            freq_bounds=(1 / 10_000, 1 / 10),
+        )
+        assert result == pytest.approx(target, rel=1e-3)

@@ -1,0 +1,53 @@
+"""Tests for scenario serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.parameters import ScenarioParameters
+from repro.errors import ParameterError
+
+
+class TestDictRoundtrip:
+    def test_roundtrip_identity(self, paper_params):
+        assert ScenarioParameters.from_dict(paper_params.to_dict()) == paper_params
+
+    def test_unknown_field_rejected(self):
+        payload = ScenarioParameters().to_dict()
+        payload["typo_field"] = 1
+        with pytest.raises(ParameterError):
+            ScenarioParameters.from_dict(payload)
+
+    def test_partial_dict_uses_defaults(self):
+        params = ScenarioParameters.from_dict({"num_peers": 5_000})
+        assert params.num_peers == 5_000
+        assert params.n_keys == 40_000  # default
+
+    def test_invalid_values_still_validated(self):
+        with pytest.raises(ParameterError):
+            ScenarioParameters.from_dict({"num_peers": -5})
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip_identity(self, small_params):
+        assert (
+            ScenarioParameters.from_json(small_params.to_json()) == small_params
+        )
+
+    def test_json_is_stable_and_sorted(self, paper_params):
+        text = paper_params.to_json()
+        assert text == paper_params.to_json()
+        keys = [
+            line.strip().split(":")[0].strip('"')
+            for line in text.splitlines()
+            if ":" in line
+        ]
+        assert keys == sorted(keys)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ParameterError):
+            ScenarioParameters.from_json("{oops")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ParameterError):
+            ScenarioParameters.from_json("[1, 2, 3]")

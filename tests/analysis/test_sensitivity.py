@@ -1,0 +1,50 @@
+"""Tests for the keyTtl sensitivity sweep (Section 5.1.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sensitivity import sweep_keyttl_error
+from repro.errors import ParameterError
+
+
+class TestSweep:
+    def test_ideal_factor_has_unit_penalty(self, paper_params):
+        results = sweep_keyttl_error(paper_params, error_factors=(0.5, 1.0, 1.5))
+        by_factor = {r.error_factor: r for r in results}
+        assert by_factor[1.0].cost_penalty == pytest.approx(1.0)
+
+    def test_paper_claim_50pct_error_is_mild(self, paper_params):
+        # "an estimation error of +/-50% of the ideal keyTtl decreases the
+        # savings only slightly" — we read "slightly" as < 15% extra cost.
+        params = paper_params.with_query_freq(1 / 600)
+        results = sweep_keyttl_error(params, error_factors=(0.5, 1.5))
+        for r in results:
+            assert r.cost_penalty < 1.15, f"factor {r.error_factor}"
+
+    def test_penalties_stay_near_one(self, paper_params):
+        # keyTtl = 1/fMin is a heuristic, not the Eq. 17 optimum: the paper
+        # itself notes "a too big value [reduces savings] at lower
+        # frequencies", so a halved TTL can be slightly *cheaper*. The claim
+        # is only that +/-50% barely moves the cost in either direction.
+        results = sweep_keyttl_error(paper_params.with_query_freq(1 / 600))
+        for r in results:
+            assert 0.85 < r.cost_penalty < 1.15
+
+    def test_ttl_scales_with_factor(self, paper_params):
+        results = sweep_keyttl_error(paper_params, error_factors=(0.5, 1.0))
+        half, full = results
+        assert half.key_ttl == pytest.approx(0.5 * full.key_ttl)
+
+    def test_outcomes_carry_savings(self, paper_params):
+        results = sweep_keyttl_error(paper_params.with_query_freq(1 / 600))
+        for r in results:
+            assert r.outcome.savings_vs_no_index > 0
+
+    def test_empty_factors_rejected(self, paper_params):
+        with pytest.raises(ParameterError):
+            sweep_keyttl_error(paper_params, error_factors=())
+
+    def test_non_positive_factor_rejected(self, paper_params):
+        with pytest.raises(ParameterError):
+            sweep_keyttl_error(paper_params, error_factors=(0.0,))

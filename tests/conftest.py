@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.parameters import ScenarioParameters
+from repro.net.node import PeerPopulation
+from repro.net.messages import MessageLog
+from repro.sim.metrics import MessageMetrics
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.Generator(np.random.PCG64(12345))
+
+
+@pytest.fixture
+def small_params() -> ScenarioParameters:
+    """A tiny but structurally faithful scenario (fast to simulate)."""
+    return ScenarioParameters(
+        num_peers=200,
+        n_keys=400,
+        storage_per_peer=100,
+        replication=20,
+        alpha=1.2,
+        query_freq=1.0 / 30.0,
+        update_freq=1.0 / (3600.0 * 24.0),
+        env=1.0 / 14.0,
+        dup=1.8,
+        dup2=1.8,
+    )
+
+
+@pytest.fixture
+def paper_params() -> ScenarioParameters:
+    return ScenarioParameters.paper_scenario()
+
+
+@pytest.fixture
+def population() -> PeerPopulation:
+    return PeerPopulation(64)
+
+
+@pytest.fixture
+def metrics() -> MessageMetrics:
+    return MessageMetrics()
+
+
+@pytest.fixture
+def log(metrics: MessageMetrics) -> MessageLog:
+    return MessageLog(metrics, keep_messages=True)

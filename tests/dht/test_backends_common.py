@@ -1,0 +1,234 @@
+"""Backend-independent DHT contract tests, run against all three overlays.
+
+The paper's analysis is generic over "traditional DHTs"; these tests pin
+the contract every backend must honour: deterministic responsibility,
+correct routing to the responsible peer, logarithmic-ish hop counts,
+message accounting, and graceful behaviour under offline members.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dht import CanDht, ChordDht, PastryDht, PGridDht, make_dht
+from repro.errors import ParameterError, RoutingError
+from repro.net.messages import MessageLog
+from repro.net.node import PeerPopulation
+from repro.sim.metrics import MessageCategory, MessageMetrics
+
+BACKENDS = [ChordDht, PastryDht, PGridDht, CanDht]
+BACKEND_IDS = ["chord", "pastry", "pgrid", "can"]
+
+
+@pytest.fixture(params=BACKENDS, ids=BACKEND_IDS)
+def dht(request):
+    population = PeerPopulation(128)
+    metrics = MessageMetrics()
+    log = MessageLog(metrics, keep_messages=False)
+    instance = request.param(population, log)
+    instance.join_all(range(100))
+    return instance
+
+
+class TestMembership:
+    def test_size_counts_members(self, dht):
+        assert dht.size == 100
+
+    def test_join_is_idempotent(self, dht):
+        dht.join(5)
+        assert dht.size == 100
+
+    def test_leave_removes_member_and_storage(self, dht):
+        origin = next(m for m in dht.online_members() if m != 5)
+        dht.insert(origin, "somekey", "v")
+        dht.leave(5)
+        assert dht.size == 99
+        assert 5 not in dht.members
+
+    def test_leave_unknown_is_noop(self, dht):
+        dht.leave(120)
+        assert dht.size == 100
+
+    def test_online_members_tracks_liveness(self, dht):
+        dht.population.set_online(3, False)
+        assert 3 not in dht.online_members()
+
+
+class TestResponsibility:
+    def test_responsible_is_online_member(self, dht):
+        peer = dht.responsible_for("article:42")
+        assert peer in dht.members
+        assert dht.population.is_online(peer)
+
+    def test_responsible_deterministic(self, dht):
+        assert dht.responsible_for("k") == dht.responsible_for("k")
+
+    def test_responsibility_moves_when_owner_leaves(self, dht):
+        key = "migrating-key"
+        owner = dht.responsible_for(key)
+        dht.leave(owner)
+        new_owner = dht.responsible_for(key)
+        assert new_owner != owner
+        assert new_owner in dht.members
+
+    def test_responsibility_skips_offline_owner(self, dht):
+        key = "churn-key"
+        owner = dht.responsible_for(key)
+        dht.population.set_online(owner, False)
+        fallback = dht.responsible_for(key)
+        assert fallback != owner
+        assert dht.population.is_online(fallback)
+
+    def test_keys_spread_over_members(self, dht):
+        owners = {dht.responsible_for(f"key-{i}") for i in range(300)}
+        # 300 keys across 100 members: a healthy overlay uses many owners.
+        assert len(owners) > 30
+
+
+class TestLookup:
+    def test_lookup_reaches_responsible(self, dht):
+        origin = dht.online_members()[0]
+        result = dht.lookup(origin, "k")
+        assert result.responsible == dht.responsible_for("k")
+
+    def test_lookup_from_responsible_is_free(self, dht):
+        key = "self-lookup"
+        owner = dht.responsible_for(key)
+        result = dht.lookup(owner, key)
+        assert result.hops == 0
+        assert result.messages == 0
+
+    def test_hops_scale_sanely(self, dht):
+        origins = dht.online_members()[:20]
+        hops = [dht.lookup(o, f"key-{i}").hops for i, o in enumerate(origins)]
+        mean_hops = sum(hops) / len(hops)
+        # ~0.5 log2(100) ~= 3.3 for binary backends, less for Pastry b=4,
+        # ~(2/4) sqrt(100) = 5 for 2-d CAN; anything wildly above those
+        # indicates broken routing.
+        assert mean_hops <= 3 * math.log2(100)
+        assert max(hops) <= 100
+
+    def test_lookup_counts_messages(self, dht):
+        origin = dht.online_members()[0]
+        before = dht.log.metrics.total(MessageCategory.INDEX_SEARCH)
+        result = dht.lookup(origin, "counted")
+        after = dht.log.metrics.total(MessageCategory.INDEX_SEARCH)
+        assert after - before == result.messages
+
+    def test_lookup_from_non_member_rejected(self, dht):
+        with pytest.raises(ParameterError):
+            dht.lookup(120, "k")
+
+    def test_lookup_from_offline_member_rejected(self, dht):
+        dht.population.set_online(0, False)
+        from repro.errors import OfflinePeerError
+
+        with pytest.raises(OfflinePeerError):
+            dht.lookup(0, "k")
+
+    def test_routing_survives_heavy_churn(self, dht):
+        # Take 40% of members offline; lookups must still resolve.
+        for member in list(dht.members)[::3]:
+            dht.population.set_online(member, False)
+        origin = dht.online_members()[0]
+        for i in range(20):
+            result = dht.lookup(origin, f"churned-{i}")
+            assert dht.population.is_online(result.responsible)
+
+
+class TestStorage:
+    def test_insert_then_lookup_finds_value(self, dht):
+        origin = dht.online_members()[0]
+        dht.insert(origin, "stored", "payload")
+        result = dht.lookup(origin, "stored")
+        assert result.has_value
+        assert result.found_value == "payload"
+
+    def test_insert_overwrites(self, dht):
+        origin = dht.online_members()[0]
+        dht.insert(origin, "k", "v1")
+        dht.insert(origin, "k", "v2")
+        assert dht.lookup(origin, "k").found_value == "v2"
+
+    def test_delete_removes_value(self, dht):
+        origin = dht.online_members()[0]
+        dht.insert(origin, "k", "v")
+        dht.delete(origin, "k")
+        assert not dht.lookup(origin, "k").has_value
+
+    def test_lookup_missing_key_has_no_value(self, dht):
+        origin = dht.online_members()[0]
+        result = dht.lookup(origin, "never-stored")
+        assert not result.has_value
+
+    def test_total_stored_keys(self, dht):
+        origin = dht.online_members()[0]
+        for i in range(5):
+            dht.insert(origin, f"bulk-{i}", i)
+        assert dht.total_stored_keys() == 5
+
+    def test_local_store_requires_membership(self, dht):
+        with pytest.raises(ParameterError):
+            dht.local_store(120)
+
+
+class TestRoutingTables:
+    def test_members_have_routing_entries(self, dht):
+        for member in dht.online_members()[:10]:
+            table = dht.routing_table(member)
+            assert table, f"member {member} has an empty routing table"
+            assert all(entry in dht.members for entry in table)
+
+    def test_table_size_logarithmic(self, dht):
+        sizes = [len(dht.routing_table(m)) for m in dht.online_members()]
+        mean_size = sum(sizes) / len(sizes)
+        # O(log n) with backend-specific constants; 128 members => a few
+        # dozen entries at most.
+        assert mean_size <= 8 * math.log2(128)
+
+    def test_expected_lookup_hops_formula(self, dht):
+        n = len(dht.online_members())
+        assert dht.expected_lookup_hops() == pytest.approx(0.5 * math.log2(n))
+
+
+class TestEmptyAndTiny:
+    @pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+    def test_empty_dht_has_no_responsible(self, backend):
+        population = PeerPopulation(4)
+        dht = backend(population, MessageLog(MessageMetrics()))
+        with pytest.raises(RoutingError):
+            dht.responsible_for("k")
+
+    @pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+    def test_single_member_owns_everything(self, backend):
+        population = PeerPopulation(4)
+        dht = backend(population, MessageLog(MessageMetrics()))
+        dht.join(2)
+        assert dht.responsible_for("a") == 2
+        assert dht.lookup(2, "a").hops == 0
+
+    @pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+    def test_two_members_route_one_hop(self, backend):
+        population = PeerPopulation(4)
+        dht = backend(population, MessageLog(MessageMetrics()))
+        dht.join_all([0, 1])
+        for key in ("a", "b", "c", "d", "e"):
+            owner = dht.responsible_for(key)
+            other = 1 - owner
+            result = dht.lookup(other, key)
+            assert result.responsible == owner
+            assert result.hops <= 2
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", zip(BACKEND_IDS, BACKENDS))
+    def test_make_dht_by_name(self, name, cls):
+        population = PeerPopulation(4)
+        dht = make_dht(name, population, MessageLog(MessageMetrics()))
+        assert isinstance(dht, cls)
+
+    def test_make_dht_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_dht("kademlia", PeerPopulation(4), MessageLog(MessageMetrics()))

@@ -1,0 +1,103 @@
+"""Chord-specific tests (ring structure, finger tables)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dht.chord import ChordDht
+from repro.net.messages import MessageLog
+from repro.net.node import PeerPopulation
+from repro.sim.metrics import MessageMetrics
+
+
+@pytest.fixture
+def chord():
+    population = PeerPopulation(300)
+    dht = ChordDht(population, MessageLog(MessageMetrics()))
+    dht.join_all(range(256))
+    dht.responsible_for("warmup")  # force rebuild
+    return dht
+
+
+class TestRing:
+    def test_responsible_is_successor_of_key(self, chord):
+        # All members online: the responsible member must be the first
+        # member clockwise from the key's identifier.
+        key = "ring-key"
+        target = chord.keyspace.hash_key(key)
+        responsible = chord.responsible_for(key)
+        responsible_id = chord.population[responsible].dht_id
+        # No other member lies in (target, responsible_id).
+        for member in chord.members:
+            member_id = chord.population[member].dht_id
+            if member == responsible:
+                continue
+            assert not chord.keyspace.in_interval(
+                member_id, target, responsible_id
+            ), f"member {member} is a closer successor"
+
+    def test_ring_ids_sorted(self, chord):
+        assert chord._ring_ids == sorted(chord._ring_ids)
+
+    def test_wraparound_successor(self, chord):
+        # A target beyond the largest member id wraps to the smallest.
+        largest = chord._ring_ids[-1]
+        target = (largest + 1) % chord.keyspace.size
+        successor = chord._successor_member(target)
+        assert successor == chord._ring_peers[0]
+
+
+class TestFingers:
+    def test_finger_tables_logarithmic(self, chord):
+        sizes = [len(chord.routing_table(m)) for m in chord.members]
+        mean = sum(sizes) / len(sizes)
+        expected = math.log2(256)
+        assert 0.5 * expected <= mean <= 3 * expected
+
+    def test_fingers_exclude_self(self, chord):
+        for member in list(chord.members)[:20]:
+            assert member not in chord.routing_table(member)
+
+    def test_fingers_deduplicated(self, chord):
+        for member in list(chord.members)[:20]:
+            table = chord.routing_table(member)
+            assert len(table) == len(set(table))
+
+    def test_farthest_finger_spans_half_ring(self, chord):
+        # With fingers at base + 2^k for k up to bits-1, some finger must
+        # sit roughly halfway around the ring — that is what makes greedy
+        # routing logarithmic.
+        member = chord._ring_peers[0]
+        base = chord.population[member].dht_id
+        distances = [
+            chord.keyspace.distance_cw(base, chord.population[f].dht_id)
+            for f in chord.routing_table(member)
+        ]
+        assert max(distances) > chord.keyspace.size // 4
+
+
+class TestHops:
+    def test_mean_hops_near_half_log(self, chord):
+        members = chord.online_members()
+        hops = [
+            chord.lookup(members[i % 256], f"key-{i}").hops for i in range(200)
+        ]
+        mean = sum(hops) / len(hops)
+        model = 0.5 * math.log2(256)
+        # Chord's greedy routing runs close to log2(n) worst case and
+        # ~0.5 log2(n)..log2(n) on average.
+        assert 0.5 * model <= mean <= 2.0 * model
+
+    def test_hops_grow_with_network(self):
+        def mean_hops(n):
+            population = PeerPopulation(n + 1)
+            dht = ChordDht(population, MessageLog(MessageMetrics()))
+            dht.join_all(range(n))
+            members = dht.online_members()
+            return sum(
+                dht.lookup(members[i % n], f"k{i}").hops for i in range(100)
+            ) / 100
+
+        assert mean_hops(64) < mean_hops(512)

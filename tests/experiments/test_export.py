@@ -1,0 +1,73 @@
+"""Tests for figure export (CSV/JSON)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments.export import (
+    figure_to_csv,
+    figure_to_json,
+    load_figure_json,
+    save_figure,
+)
+from repro.experiments.figures import FigureSeries
+
+
+@pytest.fixture
+def figure():
+    return FigureSeries(
+        name="test figure",
+        x_label="x",
+        x_values=["1/30", "1/60"],
+        series={"a": [1.5, 2.5], "b": [10.0, 20.0]},
+        notes="a note",
+    )
+
+
+class TestCsv:
+    def test_header_and_rows(self, figure):
+        text = figure_to_csv(figure)
+        lines = text.strip().splitlines()
+        assert lines[0] == "x,a,b"
+        assert lines[1] == "1/30,1.5,10.0"
+        assert len(lines) == 3
+
+    def test_csv_of_real_figure(self):
+        from repro.experiments.figures import figure1
+
+        text = figure_to_csv(figure1())
+        assert text.splitlines()[0] == "queryFreq,indexAll,noIndex,partial"
+        assert len(text.splitlines()) == 9
+
+
+class TestJson:
+    def test_roundtrip(self, figure):
+        restored = load_figure_json(figure_to_json(figure))
+        assert restored.name == figure.name
+        assert restored.x_values == figure.x_values
+        assert restored.series == figure.series
+        assert restored.notes == figure.notes
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ParameterError):
+            load_figure_json("{broken")
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ParameterError):
+            load_figure_json('{"name": "x"}')
+
+
+class TestSave:
+    def test_save_csv(self, figure, tmp_path):
+        path = save_figure(figure, tmp_path / "fig.csv")
+        assert path.read_text().startswith("x,a,b")
+
+    def test_save_json(self, figure, tmp_path):
+        path = save_figure(figure, tmp_path / "fig.json")
+        restored = load_figure_json(path.read_text())
+        assert restored.series == figure.series
+
+    def test_unknown_suffix_rejected(self, figure, tmp_path):
+        with pytest.raises(ParameterError):
+            save_figure(figure, tmp_path / "fig.xlsx")

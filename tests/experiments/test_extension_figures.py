@@ -1,0 +1,101 @@
+"""Tests for the extension experiments (optimal gap, churn, simulation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments.figures import (
+    churn_experiment,
+    heuristic_vs_optimal,
+    simulation_comparison,
+)
+from repro.experiments.scenario import simulation_scenario
+
+pytestmark = pytest.mark.slow
+
+
+class TestHeuristicVsOptimal:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        # Three frequencies keep this fast; full sweep runs in the bench.
+        return heuristic_vs_optimal(frequencies=(1 / 30, 1 / 600, 1 / 7200))
+
+    def test_maxrank_rule_near_optimal(self, fig):
+        assert all(-1e-9 <= g < 0.02 for g in fig.series_of("maxRank gap"))
+
+    def test_ttl_rule_gap_grows_with_period(self, fig):
+        gaps = fig.series_of("keyTtl gap")
+        assert gaps[-1] > gaps[0]
+
+    def test_render_mentions_gap_definition(self, fig):
+        assert "heuristic cost / optimal cost" in fig.render()
+
+
+class TestChurnExperiment:
+    def test_success_tracks_replication_bound(self):
+        params = simulation_scenario(scale=0.02)
+        fig = churn_experiment(
+            params=params, duration=90.0, availabilities=(1.0, 0.6)
+        )
+        success = fig.series_of("success rate")
+        # repl=50 at availability >= 0.6: the bound is ~1 - 0.4^50 ~ 1.
+        assert all(s > 0.9 for s in success)
+
+    def test_invalid_availability_rejected(self):
+        with pytest.raises(ParameterError):
+            churn_experiment(
+                params=simulation_scenario(scale=0.02),
+                duration=30.0,
+                availabilities=(0.0,),
+            )
+
+
+class TestSimulationComparison:
+    def test_runs_on_every_backend(self):
+        params = simulation_scenario(scale=0.02)
+        for kind in ("chord", "can"):
+            fig = simulation_comparison(
+                params=params, duration=60.0, dht_kind=kind
+            )
+            simulated = fig.series_of("simulated [msg/s]")
+            assert all(v > 0 for v in simulated)
+
+    def test_hit_rates_sane(self):
+        fig = simulation_comparison(
+            params=simulation_scenario(scale=0.02), duration=60.0
+        )
+        hit = dict(zip(fig.x_values, fig.series_of("hit rate")))
+        assert hit["noIndex"] == 0.0
+        assert hit["indexAll"] == 1.0
+        assert 0.0 < hit["partialSelection"] <= 1.0
+
+
+class TestStalenessExperiment:
+    def test_staleness_monotone_in_ttl(self):
+        from repro.experiments.figures import staleness_experiment
+
+        fig = staleness_experiment(
+            params=simulation_scenario(scale=0.02),
+            duration=200.0,
+            refresh_period=80.0,
+            ttl_factors=(0.25, 4.0),
+        )
+        stale = fig.series_of("stale hit fraction")
+        assert stale[0] <= stale[-1]
+        assert all(0.0 <= s <= 1.0 for s in stale)
+
+    def test_invalid_parameters(self):
+        from repro.experiments.figures import staleness_experiment
+
+        with pytest.raises(ParameterError):
+            staleness_experiment(duration=0.0)
+        with pytest.raises(ParameterError):
+            staleness_experiment(ttl_factors=(0.0,))
+
+
+class TestRunnerExtensions:
+    def test_runner_knows_new_experiments(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert {"optimal", "churn", "staleness"} <= set(EXPERIMENTS)

@@ -1,0 +1,136 @@
+"""Tests for the experiment harness (tables, figures, reporting, runner)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments import figures, tables
+from repro.experiments.reporting import format_period, format_series, format_table
+from repro.experiments.scenario import paper_scenario, simulation_scenario
+
+
+class TestReporting:
+    def test_format_period(self):
+        assert format_period(1 / 30) == "1/30"
+        assert format_period(1 / 7200) == "1/7200"
+        assert format_period(0.0) == "0"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # aligned widths
+
+    def test_format_table_with_title(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_format_series_rounds(self):
+        text = format_series("x", ["a"], {"y": [0.123456]}, precision=2)
+        assert "0.12" in text
+
+    def test_large_numbers_get_thousands_separator(self):
+        text = format_table(["x"], [[480000.0]])
+        assert "480,000" in text
+
+
+class TestTable1:
+    def test_rows_cover_all_parameters(self):
+        rows = tables.table1_rows()
+        assert len(rows) == 10
+        params = [r[1] for r in rows]
+        assert "numPeers" in params and "dup2" in params
+
+    def test_render_contains_paper_values(self):
+        text = tables.render_table1()
+        assert "20000" in text or "20,000" in text
+        assert "1.2" in text
+
+
+class TestAnalyticalFigures:
+    @pytest.fixture(scope="class")
+    def fig1(self):
+        return figures.figure1()
+
+    def test_figure1_series_names(self, fig1):
+        assert set(fig1.series) == {"indexAll", "noIndex", "partial"}
+
+    def test_figure1_eight_points(self, fig1):
+        assert len(fig1.x_values) == 8
+        assert fig1.x_values[0] == "1/30"
+
+    def test_figure1_shape(self, fig1):
+        partial = fig1.series_of("partial")
+        index_all = fig1.series_of("indexAll")
+        no_index = fig1.series_of("noIndex")
+        for p, a, n in zip(partial, index_all, no_index):
+            assert p < a and p < n
+
+    def test_figure2_savings_in_unit_interval(self):
+        fig2 = figures.figure2()
+        for name in ("vs indexAll", "vs noIndex"):
+            for v in fig2.series_of(name):
+                assert 0.0 < v <= 1.0
+
+    def test_figure3_fraction_below_p_indexed(self):
+        fig3 = figures.figure3()
+        for frac, p in zip(fig3.series_of("index size"), fig3.series_of("pIndxd")):
+            assert frac < p
+
+    def test_figure4_shape(self):
+        fig4 = figures.figure4()
+        vs_all = fig4.series_of("vs indexAll")
+        assert vs_all[0] < 0 < vs_all[-1]
+
+    def test_unknown_series_rejected(self, fig1):
+        with pytest.raises(ParameterError):
+            fig1.series_of("nope")
+
+    def test_render_contains_axis_labels(self, fig1):
+        text = fig1.render()
+        assert "queryFreq" in text
+        assert "1/7200" in text
+
+    def test_keyttl_sensitivity_mild(self):
+        fig = figures.keyttl_sensitivity()
+        penalties = fig.series_of("cost penalty")
+        assert all(0.8 < p < 1.2 for p in penalties)
+
+
+class TestScenarios:
+    def test_paper_scenario_is_table1(self):
+        assert paper_scenario().num_peers == 20_000
+
+    def test_simulation_scenario_scaled(self):
+        params = simulation_scenario()
+        assert params.num_peers == 1_000
+        assert params.n_keys == 2_000
+        assert params.replication == 50
+
+    def test_simulation_scenario_custom(self):
+        params = simulation_scenario(scale=0.01, query_freq=1 / 60)
+        assert params.num_peers == 200
+        assert params.query_freq == pytest.approx(1 / 60)
+
+
+class TestRunner:
+    def test_runner_table1(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_runner_analytic_figures(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["fig1", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out and "Fig. 3" in out
+
+    def test_runner_rejects_unknown(self):
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,93 @@
+"""Integration: the Section 5.2 adaptivity claims, in simulation.
+
+'Our scheme is able to automatically adjust the index to changing query
+frequencies and distributions.'
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.parameters import ScenarioParameters
+from repro.analysis.zipf import ZipfDistribution
+from repro.pdht.config import PdhtConfig
+from repro.pdht.strategies import PartialSelectionStrategy
+from repro.workload.queries import FlashCrowdWorkload, ShuffledZipfWorkload
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def params():
+    return ScenarioParameters(
+        num_peers=300,
+        n_keys=600,
+        storage_per_peer=100,
+        replication=30,
+        query_freq=1.0 / 10.0,
+    )
+
+
+class TestDistributionShift:
+    def test_hit_rate_dips_then_recovers(self, params):
+        config = PdhtConfig.from_scenario(params, walkers=8)
+        strategy = PartialSelectionStrategy(params, config=config, seed=3)
+        shift_at = 150.0
+        strategy.workload = ShuffledZipfWorkload(
+            ZipfDistribution(params.n_keys, params.alpha),
+            strategy.network.streams.get("shifted"),
+            shift_time=shift_at,
+        )
+        report = strategy.run(300.0, window=50.0)
+        rates = dict(report.hit_rate_series)
+        before = rates[150.0]
+        just_after = rates[200.0]
+        recovered = rates[300.0]
+        assert before > 0.5, "index never warmed up"
+        assert just_after < before, "shift did not dent the hit rate"
+        assert recovered > just_after, "index did not re-learn the new hot set"
+
+    def test_index_size_stays_bounded_after_shift(self, params):
+        # The old hot keys must eventually time out rather than accumulate.
+        config = PdhtConfig.from_scenario(params, walkers=8)
+        strategy = PartialSelectionStrategy(params, config=config, seed=5)
+        strategy.workload = ShuffledZipfWorkload(
+            ZipfDistribution(params.n_keys, params.alpha),
+            strategy.network.streams.get("shifted2"),
+            shift_time=100.0,
+        )
+        report = strategy.run(250.0, window=50.0)
+        sizes = [s for _, s in report.index_size_series]
+        assert max(sizes) < params.n_keys * 0.9
+
+
+class TestFlashCrowd:
+    def test_promoted_key_gets_indexed_and_stays(self, params):
+        config = PdhtConfig.from_scenario(params, walkers=8)
+        strategy = PartialSelectionStrategy(params, config=config, seed=7)
+        crowd_at = 60.0
+        workload = FlashCrowdWorkload(
+            ZipfDistribution(params.n_keys, params.alpha),
+            strategy.network.streams.get("crowd"),
+            crowd_time=crowd_at,
+            cold_rank=params.n_keys,
+        )
+        strategy.workload = workload
+        promoted_key = strategy.key_name(workload.key_for_rank(params.n_keys))
+        strategy.prepare()
+
+        hits_after_crowd = 0
+        queries_after_crowd = 0
+        net = strategy.network
+        for _ in range(180):
+            net.advance(1.0)
+            for event in workload.draw(net.simulation.now, 5):
+                key = strategy.key_name(event.key_index)
+                outcome = net.query(net.random_online_peer(), key)
+                if key == promoted_key and net.simulation.now > crowd_at + 20:
+                    queries_after_crowd += 1
+                    hits_after_crowd += int(outcome.via_index)
+
+        assert queries_after_crowd > 50, "flash crowd never materialised"
+        hit_rate = hits_after_crowd / queries_after_crowd
+        assert hit_rate > 0.9, f"promoted key hit rate only {hit_rate:.0%}"

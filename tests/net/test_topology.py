@@ -1,0 +1,78 @@
+"""Tests for Gnutella-like topologies."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.node import PeerPopulation
+from repro.net.topology import GnutellaTopology, build_gnutella_graph
+
+
+class TestBuildGraph:
+    def test_regular_graph_has_exact_degree(self, rng):
+        graph = build_gnutella_graph(50, 4, rng)
+        assert all(d == 4 for _, d in graph.degree())
+
+    def test_graph_is_connected(self, rng):
+        graph = build_gnutella_graph(100, 3, rng)
+        assert nx.is_connected(graph)
+
+    def test_barabasi_albert_heavy_tail(self, rng):
+        graph = build_gnutella_graph(300, 2, rng, kind="barabasi_albert")
+        degrees = sorted((d for _, d in graph.degree()), reverse=True)
+        assert degrees[0] > 3 * degrees[len(degrees) // 2]
+
+    def test_barabasi_albert_connected(self, rng):
+        graph = build_gnutella_graph(200, 2, rng, kind="barabasi_albert")
+        assert nx.is_connected(graph)
+
+    def test_reproducible_given_rng_state(self):
+        import numpy as np
+
+        g1 = build_gnutella_graph(40, 4, np.random.Generator(np.random.PCG64(1)))
+        g2 = build_gnutella_graph(40, 4, np.random.Generator(np.random.PCG64(1)))
+        assert sorted(g1.edges) == sorted(g2.edges)
+
+    @pytest.mark.parametrize(
+        "num_peers,degree",
+        [(1, 1), (10, 0), (10, 10), (10, 12)],
+    )
+    def test_infeasible_parameters_rejected(self, rng, num_peers, degree):
+        with pytest.raises(TopologyError):
+            build_gnutella_graph(num_peers, degree, rng)
+
+    def test_odd_regular_product_rejected(self, rng):
+        with pytest.raises(TopologyError):
+            build_gnutella_graph(5, 3, rng)  # 15 stubs: impossible
+
+    def test_unknown_kind_rejected(self, rng):
+        with pytest.raises(TopologyError):
+            build_gnutella_graph(10, 2, rng, kind="hypercube")  # type: ignore[arg-type]
+
+
+class TestGnutellaTopology:
+    def test_neighbors_stable_regardless_of_liveness(self, population, rng):
+        topo = GnutellaTopology(population, 4, rng)
+        before = topo.neighbors(0)
+        population.set_online(before[0], False)
+        assert topo.neighbors(0) == before
+
+    def test_online_neighbors_filter(self, population, rng):
+        topo = GnutellaTopology(population, 4, rng)
+        victim = topo.neighbors(0)[0]
+        population.set_online(victim, False)
+        assert victim not in topo.online_neighbors(0)
+        assert len(topo.online_neighbors(0)) == 3
+
+    def test_duplication_factor_matches_degree(self, population, rng):
+        topo = GnutellaTopology(population, 4, rng)
+        # Regular graph, everyone online: 2E/V = degree.
+        assert topo.measured_duplication_factor() == pytest.approx(4.0)
+
+    def test_duplication_factor_empty_when_all_offline(self, population, rng):
+        topo = GnutellaTopology(population, 4, rng)
+        for peer in population:
+            population.set_online(peer.peer_id, False)
+        assert topo.measured_duplication_factor() == 0.0

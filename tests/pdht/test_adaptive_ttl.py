@@ -1,0 +1,121 @@
+"""Tests for the self-tuning keyTtl controller (future-work extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.parameters import ScenarioParameters
+from repro.errors import ParameterError
+from repro.pdht.adaptive_ttl import AdaptiveTtlController, CostEstimates
+from repro.pdht.config import PdhtConfig
+from repro.pdht.network import PdhtNetwork
+
+
+@pytest.fixture
+def network():
+    params = ScenarioParameters(
+        num_peers=150, n_keys=300, replication=15, storage_per_peer=50
+    )
+    config = PdhtConfig(key_ttl=20.0, replication=15, walkers=8)
+    net = PdhtNetwork(params, config, seed=17, num_active_peers=45)
+    for i in range(50):
+        net.publish(f"key-{i:06d}", f"value-{i}")
+    return net
+
+
+class TestCostEstimates:
+    def test_target_none_without_samples(self):
+        assert CostEstimates().ttl_target() is None
+
+    def test_target_none_when_index_not_cheaper(self):
+        est = CostEstimates(
+            c_search_unstructured=5.0,
+            c_search_index=10.0,
+            c_index_key_per_round=0.1,
+            samples_unstructured=3,
+            samples_index=3,
+        )
+        assert est.ttl_target() is None
+
+    def test_target_formula(self):
+        est = CostEstimates(
+            c_search_unstructured=100.0,
+            c_search_index=10.0,
+            c_index_key_per_round=0.5,
+            samples_unstructured=3,
+            samples_index=3,
+        )
+        assert est.ttl_target() == pytest.approx(180.0)
+
+
+class TestController:
+    def test_observations_update_ewma(self, network):
+        controller = AdaptiveTtlController(network, alpha=0.5)
+        controller.observe_broadcast(100)
+        controller.observe_broadcast(200)
+        assert controller.estimates.c_search_unstructured == pytest.approx(150.0)
+        controller.observe_index_search(10)
+        assert controller.estimates.c_search_index == pytest.approx(10.0)
+
+    def test_observe_query_outcome_splits_costs(self, network):
+        controller = AdaptiveTtlController(network)
+        outcome = network.query(network.random_online_peer(), "key-000001")
+        controller.observe_query_outcome(outcome)
+        assert controller.estimates.samples_index >= 1
+        assert controller.estimates.samples_unstructured >= 1  # first query walks
+
+    def test_retarget_adjusts_ttl(self, network):
+        controller = AdaptiveTtlController(
+            network, alpha=0.5, retarget_interval=30.0, min_ttl=1.0
+        )
+        # Feed it a workload so all three estimates become available.
+        for step in range(4):
+            network.advance(30.0)
+            for i in range(20):
+                key = f"key-{i % 10:06d}"
+                outcome = network.query(network.random_online_peer(), key)
+                controller.observe_query_outcome(outcome)
+        assert controller.retargets, "controller never retargeted"
+        assert controller.current_ttl != 20.0
+
+    def test_retarget_respects_clamp(self, network):
+        controller = AdaptiveTtlController(
+            network, alpha=0.9, retarget_interval=20.0, min_ttl=5.0, max_ttl=50.0
+        )
+        for _ in range(4):
+            network.advance(20.0)
+            for i in range(10):
+                outcome = network.query(
+                    network.random_online_peer(), f"key-{i:06d}"
+                )
+                controller.observe_query_outcome(outcome)
+        for _, ttl in controller.retargets:
+            assert 5.0 <= ttl <= 50.0
+
+    def test_no_retarget_without_estimates(self, network):
+        controller = AdaptiveTtlController(network, retarget_interval=10.0)
+        network.advance(100.0)  # no queries observed
+        assert controller.retargets == []
+        assert controller.current_ttl == 20.0
+
+    def test_stop_halts_retargeting(self, network):
+        controller = AdaptiveTtlController(network, retarget_interval=10.0)
+        controller.observe_broadcast(100)
+        controller.observe_index_search(5)
+        controller.stop()
+        network.advance(100.0)
+        assert controller.retargets == []
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 0.0},
+            {"alpha": 1.5},
+            {"retarget_interval": 0.0},
+            {"min_ttl": -1.0},
+            {"min_ttl": 10.0, "max_ttl": 5.0},
+        ],
+    )
+    def test_invalid_parameters(self, network, kwargs):
+        with pytest.raises(ParameterError):
+            AdaptiveTtlController(network, **kwargs)

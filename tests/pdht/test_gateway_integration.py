@@ -1,0 +1,69 @@
+"""Tests for gateway-cache integration in the PDHT query path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.parameters import ScenarioParameters
+from repro.pdht.config import PdhtConfig
+from repro.pdht.network import PdhtNetwork
+from repro.sim.metrics import MessageCategory
+
+
+@pytest.fixture
+def network():
+    params = ScenarioParameters(
+        num_peers=100, n_keys=150, replication=10, storage_per_peer=30
+    )
+    config = PdhtConfig(key_ttl=100.0, replication=10, walkers=8)
+    net = PdhtNetwork(params, config, seed=2, num_active_peers=30)
+    net.publish("hot", "v")
+    return net
+
+
+class TestGatewayIntegration:
+    def test_gateway_cache_covers_members(self, network):
+        assert network.gateways.members == set(network.dht.members)
+
+    def test_repeat_queries_hit_gateway_cache(self, network):
+        outsider = next(
+            p.peer_id for p in network.population
+            if p.peer_id not in network.dht.members
+        )
+        network.query(outsider, "hot")
+        network.query(outsider, "hot")
+        assert network.gateways.cache_hits >= 1
+
+    def test_membership_traffic_is_minor_in_steady_state(self, network):
+        # Gateway discovery must be a small share of steady-state traffic
+        # (otherwise the paper's assumption that knowing one member is
+        # free would distort the cost model). Steady state = repeat
+        # queriers with warm caches; construction-time joins excluded.
+        queriers = [
+            p.peer_id for p in network.population
+            if p.peer_id not in network.dht.members
+        ][:5]
+        for querier in queriers:  # warm the caches
+            network.query(querier, "hot")
+        network.metrics.reset(now=network.simulation.now)
+        for i in range(40):
+            network.query(queriers[i % len(queriers)], "hot")
+        totals = network.metrics.totals_by_category()
+        membership = totals.get(MessageCategory.MEMBERSHIP, 0.0)
+        assert membership < 0.1 * sum(totals.values())
+
+    def test_dht_member_origin_pays_no_discovery(self, network):
+        member = next(iter(network.dht.members))
+        before = network.metrics.total(MessageCategory.MEMBERSHIP)
+        network.query(member, "hot")
+        assert network.metrics.total(MessageCategory.MEMBERSHIP) == before
+
+    def test_query_survives_total_dht_outage(self, network):
+        for member in network.dht.members:
+            network.population.set_online(member, False)
+        origin = network.random_online_peer()
+        outcome = network.query(origin, "hot")
+        # Only the broadcast path remains; the query must still resolve.
+        assert outcome.found
+        assert not outcome.via_index
+        assert outcome.index_messages == 0

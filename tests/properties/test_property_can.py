@@ -1,0 +1,86 @@
+"""Property-based tests for CAN zone geometry."""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.can import CanDht
+from repro.net.messages import MessageLog
+from repro.net.node import PeerPopulation
+from repro.sim.metrics import MessageMetrics
+
+
+def build(member_count: int, dimensions: int) -> CanDht:
+    population = PeerPopulation(member_count + 1)
+    dht = CanDht(
+        population, MessageLog(MessageMetrics()), dimensions=dimensions
+    )
+    dht.join_all(range(member_count))
+    dht.responsible_for("warmup")
+    return dht
+
+
+@given(
+    member_count=st.integers(min_value=1, max_value=48),
+    dimensions=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=40, deadline=None)
+def test_zone_volumes_tile_unit_torus(member_count, dimensions):
+    dht = build(member_count, dimensions)
+    total = sum(dht.zone_of(m).volume() for m in dht.members)
+    assert abs(total - 1.0) < 1e-9
+
+
+@given(
+    member_count=st.integers(min_value=1, max_value=32),
+    dimensions=st.integers(min_value=1, max_value=3),
+    coords=st.lists(
+        st.floats(min_value=0.0, max_value=0.999), min_size=3, max_size=3
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_every_point_owned_by_exactly_one_zone(member_count, dimensions, coords):
+    dht = build(member_count, dimensions)
+    point = tuple(coords[:dimensions])
+    owners = [m for m in dht.members if dht.zone_of(m).contains(point)]
+    assert len(owners) == 1
+
+
+@given(
+    member_count=st.integers(min_value=2, max_value=32),
+    dimensions=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=40, deadline=None)
+def test_neighbor_graph_symmetric_and_connected(member_count, dimensions):
+    dht = build(member_count, dimensions)
+    for member in dht.members:
+        for neighbor in dht.routing_table(member):
+            assert member in dht.routing_table(neighbor)
+    # Connectivity: BFS over neighbour links reaches everyone (the zone
+    # tiling of a torus is face-connected).
+    members = sorted(dht.members)
+    seen = {members[0]}
+    frontier = [members[0]]
+    while frontier:
+        current = frontier.pop()
+        for neighbor in dht.routing_table(current):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    assert seen == set(members)
+
+
+@given(
+    member_count=st.integers(min_value=2, max_value=24),
+    dimensions=st.integers(min_value=1, max_value=3),
+    key=st.text(min_size=1, max_size=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_lookup_always_lands_on_owner(member_count, dimensions, key):
+    dht = build(member_count, dimensions)
+    origin = dht.online_members()[0]
+    result = dht.lookup(origin, key)
+    assert result.responsible == dht.responsible_for(key)

@@ -1,0 +1,73 @@
+"""Property-based tests for key-space arithmetic."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.keyspace import KeySpace
+
+BITS = 16
+space = KeySpace(bits=BITS)
+ident_st = st.integers(min_value=0, max_value=space.size - 1)
+
+
+@given(a=ident_st, b=ident_st)
+@settings(max_examples=100, deadline=None)
+def test_distance_cw_antisymmetric_on_ring(a, b):
+    d_ab = space.distance_cw(a, b)
+    d_ba = space.distance_cw(b, a)
+    if a == b:
+        assert d_ab == d_ba == 0
+    else:
+        assert d_ab + d_ba == space.size
+
+
+@given(a=ident_st, b=ident_st, x=ident_st)
+@settings(max_examples=150, deadline=None)
+def test_interval_membership_partition(a, b, x):
+    """Every point is in exactly one of (a,b) and [b,a) ... i.e. the ring
+    splits cleanly between an interval and its complement."""
+    if a == b:
+        return
+    inside = space.in_interval(x, a, b)
+    complement = space.in_interval(x, b, a)
+    if x == a or x == b:
+        assert not inside or not complement
+    else:
+        assert inside != complement
+
+
+@given(ident=ident_st)
+@settings(max_examples=100, deadline=None)
+def test_to_bits_from_bits_roundtrip(ident):
+    assert space.from_bits(space.to_bits(ident)) == ident
+
+
+@given(ident=ident_st, length=st.integers(min_value=0, max_value=BITS))
+@settings(max_examples=100, deadline=None)
+def test_prefix_is_prefix_of_full(ident, length):
+    assert space.to_bits(ident).startswith(space.to_bits(ident, length))
+
+
+@given(ident=ident_st, position=st.integers(min_value=0, max_value=BITS - 1))
+@settings(max_examples=100, deadline=None)
+def test_binary_digits_rebuild_identifier(ident, position):
+    bits = [space.digit(ident, i) for i in range(BITS)]
+    rebuilt = int("".join(str(b) for b in bits), 2)
+    assert rebuilt == ident
+
+
+@given(ident=ident_st)
+@settings(max_examples=50, deadline=None)
+def test_hex_digits_consistent_with_binary(ident):
+    for position in range(BITS // 4):
+        hex_digit = space.digit(ident, position, digit_bits=4)
+        binary = [space.digit(ident, 4 * position + i) for i in range(4)]
+        assert hex_digit == int("".join(str(b) for b in binary), 2)
+
+
+@given(key=st.text(min_size=0, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_hash_key_in_range(key):
+    assert 0 <= space.hash_key(key) < space.size

@@ -1,0 +1,111 @@
+"""Property-based tests for the TTL key store.
+
+A stateful model-based test drives the store with random interleavings of
+inserts, queries, peeks, removals, and clock advances, comparing against a
+brute-force reference model.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.pdht.ttl_cache import TtlKeyStore
+
+KEYS = [f"k{i}" for i in range(8)]
+
+
+class TtlStoreMachine(RuleBasedStateMachine):
+    """Reference-model comparison under random operation sequences."""
+
+    def __init__(self):
+        super().__init__()
+        self.ttl = 10.0
+        self.store = TtlKeyStore(ttl=self.ttl)
+        self.model: dict[str, float] = {}  # key -> expires_at
+        self.now = 0.0
+
+    @rule(key=st.sampled_from(KEYS), value=st.integers())
+    def insert(self, key, value):
+        self.store.insert(key, value, now=self.now)
+        self.model[key] = self.now + self.ttl
+
+    @rule(key=st.sampled_from(KEYS))
+    def query(self, key):
+        entry = self.store.query(key, now=self.now)
+        model_live = key in self.model and self.model[key] > self.now
+        assert (entry is not None) == model_live
+        if model_live:
+            self.model[key] = self.now + self.ttl
+        else:
+            self.model.pop(key, None)
+
+    @rule(key=st.sampled_from(KEYS))
+    def peek(self, key):
+        entry = self.store.peek(key, now=self.now)
+        model_live = key in self.model and self.model[key] > self.now
+        assert (entry is not None) == model_live
+
+    @rule(key=st.sampled_from(KEYS))
+    def remove(self, key):
+        removed = self.store.remove(key)
+        model_live = key in self.model and self.model[key] > self.now
+        if model_live:
+            # A live entry must be physically present and removable.
+            assert removed
+        # An expired entry may or may not still occupy a slot depending on
+        # purge timing; either return value is acceptable there.
+        self.model.pop(key, None)
+
+    @rule(delta=st.floats(min_value=0.0, max_value=15.0))
+    def advance(self, delta):
+        self.now += delta
+
+    @rule()
+    def purge(self):
+        self.store.purge_expired(self.now)
+
+    @invariant()
+    def live_sizes_match(self):
+        model_live = sum(1 for exp in self.model.values() if exp > self.now)
+        assert self.store.live_size(self.now) == model_live
+
+
+TestTtlStoreStateful = TtlStoreMachine.TestCase
+TestTtlStoreStateful.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
+
+
+@given(
+    ttl=st.floats(min_value=0.1, max_value=1e6),
+    gaps=st.lists(st.floats(min_value=0.0, max_value=1e5), min_size=1, max_size=30),
+)
+@settings(max_examples=60, deadline=None)
+def test_key_survives_iff_gaps_below_ttl(ttl, gaps):
+    """A key stays alive exactly while inter-query gaps stay under the TTL."""
+    store = TtlKeyStore(ttl=ttl)
+    now = 0.0
+    store.insert("k", 1, now=now)
+    alive = True
+    for gap in gaps:
+        now += gap
+        hit = store.query("k", now=now) is not None
+        expected = alive and gap < ttl
+        assert hit == expected
+        alive = expected
+        if not alive:
+            break
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=10),
+    n_inserts=st.integers(min_value=1, max_value=40),
+)
+@settings(max_examples=60, deadline=None)
+def test_capacity_never_exceeded(capacity, n_inserts):
+    store = TtlKeyStore(ttl=100.0, capacity=capacity)
+    for i in range(n_inserts):
+        store.insert(f"k{i}", i, now=float(i) * 0.1)
+        assert len(store) <= capacity

@@ -1,0 +1,112 @@
+"""Tests for the [VaCh02]-style replication planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.replication.availability import (
+    AvailabilityMonitor,
+    availability_of,
+    replication_for_availability,
+)
+
+
+class TestClosedForm:
+    def test_availability_formula(self):
+        assert availability_of(3, 0.5) == pytest.approx(1 - 0.5**3)
+
+    def test_availability_extremes(self):
+        assert availability_of(5, 0.0) == 0.0
+        assert availability_of(5, 1.0) == 1.0
+
+    def test_planner_meets_target_minimally(self):
+        r = replication_for_availability(target=0.99, peer_availability=0.5)
+        assert availability_of(r, 0.5) >= 0.99
+        assert availability_of(r - 1, 0.5) < 0.99
+
+    def test_perfect_peers_need_one_replica(self):
+        assert replication_for_availability(0.999, 1.0) == 1
+
+    def test_paper_scenario_plausibility(self):
+        # With typical P2P availability ~0.5, the paper's repl = 50 gives
+        # essentially perfect availability — consistent with them reusing
+        # one factor for index and content.
+        assert availability_of(50, 0.5) > 1 - 1e-9
+
+    def test_low_availability_needs_many_replicas(self):
+        r = replication_for_availability(target=0.99, peer_availability=0.05)
+        assert r >= 90
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"target": 0.0, "peer_availability": 0.5},
+            {"target": 1.0, "peer_availability": 0.5},
+            {"target": 0.9, "peer_availability": -0.1},
+            {"target": 0.9, "peer_availability": 0.0},
+        ],
+    )
+    def test_invalid_inputs(self, kwargs):
+        with pytest.raises(ParameterError):
+            replication_for_availability(**kwargs)
+
+    def test_cap_enforced(self):
+        with pytest.raises(ParameterError):
+            replication_for_availability(
+                target=0.999999, peer_availability=0.001, max_replication=100
+            )
+
+
+class TestMonitor:
+    def test_estimate_converges_to_true_availability(self):
+        monitor = AvailabilityMonitor(target=0.99, alpha=0.1)
+        # 70% availability stream, deterministic pattern.
+        for i in range(500):
+            monitor.record(online=(i % 10) < 7)
+        assert monitor.estimated_availability == pytest.approx(0.7, abs=0.12)
+
+    def test_recommendation_tracks_estimate(self):
+        monitor = AvailabilityMonitor(target=0.99, alpha=0.5, hysteresis=0)
+        for _ in range(50):
+            monitor.record(online=True)
+        high = monitor.recommended_replication()
+        for _ in range(50):
+            monitor.record(online=False)
+        low_availability_rec = monitor.recommended_replication()
+        assert low_availability_rec > high
+
+    def test_hysteresis_damps_flapping(self):
+        monitor = AvailabilityMonitor(
+            target=0.99, alpha=0.02, hysteresis=3, initial_availability=0.5
+        )
+        baseline = monitor.recommended_replication()
+        # Small wobbles around 0.5 must not move the recommendation.
+        for i in range(40):
+            monitor.record(online=(i % 2 == 0))
+            assert monitor.recommended_replication() == baseline
+
+    def test_never_divides_by_zero_after_offline_burst(self):
+        monitor = AvailabilityMonitor(target=0.9, alpha=1.0)
+        monitor.record(online=False)  # estimate would hit 0 without clamp
+        assert monitor.estimated_availability > 0
+        assert monitor.recommended_replication() >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"target": 1.5},
+            {"target": 0.9, "alpha": 0.0},
+            {"target": 0.9, "hysteresis": -1},
+            {"target": 0.9, "initial_availability": 0.0},
+        ],
+    )
+    def test_invalid_monitor(self, kwargs):
+        with pytest.raises(ParameterError):
+            AvailabilityMonitor(**kwargs)
+
+    def test_sample_counter(self):
+        monitor = AvailabilityMonitor(target=0.9)
+        for _ in range(7):
+            monitor.record(online=True)
+        assert monitor.samples == 7

@@ -1,0 +1,92 @@
+"""Tests for hybrid push/pull rumor spreading [DaHa03]."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.net.messages import MessageLog
+from repro.net.node import PeerPopulation
+from repro.replication.replica_network import ReplicaNetwork
+from repro.replication.rumor import RumorConfig, RumorSpread
+from repro.sim.metrics import MessageMetrics
+
+
+@pytest.fixture
+def spread(rng):
+    population = PeerPopulation(60)
+    log = MessageLog(MessageMetrics())
+    network = ReplicaNetwork(population, list(range(50)), rng, log, degree=3)
+    return RumorSpread(network, RumorConfig(), rng)
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [{"push_rounds": 0}, {"push_fanout": 0}])
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ParameterError):
+            RumorConfig(**kwargs)
+
+
+class TestPublish:
+    def test_reaches_all_online_replicas(self, spread):
+        outcome = spread.publish(0)
+        assert outcome.coverage == pytest.approx(1.0)
+        assert spread.is_consistent()
+
+    def test_version_increments(self, spread):
+        assert spread.publish(0).version == 1
+        assert spread.publish(1).version == 2
+        assert spread.latest_version == 2
+
+    def test_messages_order_repl_dup2(self, spread):
+        outcome = spread.publish(0)
+        repl = len(spread.network.members)
+        # Push gossip costs a small constant times repl.
+        assert repl * 0.5 <= outcome.messages <= repl * 6
+
+    def test_offline_replicas_stay_stale(self, spread):
+        offline = [5, 6, 7]
+        for peer in offline:
+            spread.network.population.set_online(peer, False)
+        spread.publish(0)
+        staleness = spread.staleness()
+        for peer in offline:
+            assert staleness[peer] == 1
+        assert spread.is_consistent()  # consistency is over *online* replicas
+
+    def test_publish_from_non_replica_rejected(self, spread):
+        with pytest.raises(ParameterError):
+            spread.publish(59)
+
+    def test_publish_from_offline_rejected(self, spread):
+        from repro.errors import OfflinePeerError
+
+        spread.network.population.set_online(0, False)
+        with pytest.raises(OfflinePeerError):
+            spread.publish(0)
+
+
+class TestPull:
+    def test_rejoining_replica_catches_up(self, spread):
+        spread.network.population.set_online(5, False)
+        spread.publish(0)
+        assert spread.staleness()[5] == 1
+        spread.network.population.set_online(5, True)
+        messages = spread.pull(5)
+        assert messages >= 2
+        assert spread.staleness()[5] == 0
+
+    def test_pull_with_nothing_missed_is_cheap(self, spread):
+        spread.publish(0)
+        messages = spread.pull(1)
+        # Already fresh: pays at most one round of neighbour checks.
+        assert messages <= 2 * len(spread.network.online_neighbors(1))
+
+    def test_pull_from_non_replica_rejected(self, spread):
+        with pytest.raises(ParameterError):
+            spread.pull(59)
+
+    def test_pull_when_all_neighbors_stale_keeps_version(self, spread):
+        # No update published at all: pull finds nothing newer.
+        assert spread.pull(3) >= 0
+        assert spread.versions[3] == 0

@@ -1,0 +1,80 @@
+"""Tests for random content replication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.net.node import PeerPopulation
+from repro.unstructured.overlay import UnstructuredOverlay
+from repro.unstructured.replication import ContentReplicator
+
+
+@pytest.fixture
+def replicator(rng):
+    overlay = UnstructuredOverlay(PeerPopulation(100), rng, degree=4)
+    return ContentReplicator(overlay, replication=10, rng=rng)
+
+
+class TestPlacement:
+    def test_places_exactly_repl_distinct_holders(self, replicator):
+        placement = replicator.place("k", "v")
+        assert len(placement.holders) == 10
+        assert len(set(placement.holders)) == 10
+
+    def test_holders_actually_store_value(self, replicator):
+        placement = replicator.place("k", "v")
+        for holder in placement.holders:
+            assert replicator.overlay.value_at(holder, "k") == "v"
+
+    def test_double_place_rejected(self, replicator):
+        replicator.place("k", "v")
+        with pytest.raises(ParameterError):
+            replicator.place("k", "v2")
+
+    def test_refresh_replaces_replicas(self, replicator):
+        old = replicator.place("k", "v1")
+        new = replicator.refresh("k", "v2")
+        for holder in new.holders:
+            assert replicator.overlay.value_at(holder, "k") == "v2"
+        gone = set(old.holders) - set(new.holders)
+        for holder in gone:
+            assert not replicator.overlay.peer_has(holder, "k")
+
+    def test_remove_drops_all_replicas(self, replicator):
+        placement = replicator.place("k", "v")
+        replicator.remove("k")
+        for holder in placement.holders:
+            assert "k" not in replicator.overlay.population[holder].content
+        assert replicator.placed_keys() == []
+
+    def test_remove_unknown_is_noop(self, replicator):
+        replicator.remove("never-placed")
+
+    def test_placement_of_unknown_rejected(self, replicator):
+        with pytest.raises(ParameterError):
+            replicator.placement_of("nope")
+
+    def test_replication_exceeding_population_rejected(self, rng):
+        overlay = UnstructuredOverlay(PeerPopulation(5), rng, degree=2)
+        with pytest.raises(ParameterError):
+            ContentReplicator(overlay, replication=6, rng=rng)
+
+
+class TestAvailability:
+    def test_online_copies_tracks_churn(self, replicator):
+        placement = replicator.place("k", "v")
+        assert replicator.online_copies("k") == 10
+        replicator.overlay.population.set_online(placement.holders[0], False)
+        assert replicator.online_copies("k") == 9
+
+    def test_expected_availability_formula(self, replicator):
+        assert replicator.expected_availability(0.5) == pytest.approx(
+            1 - 0.5**10
+        )
+
+    def test_expected_availability_bounds(self, replicator):
+        assert replicator.expected_availability(0.0) == 0.0
+        assert replicator.expected_availability(1.0) == 1.0
+        with pytest.raises(ParameterError):
+            replicator.expected_availability(1.5)

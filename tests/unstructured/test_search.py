@@ -1,0 +1,150 @@
+"""Tests for flooding and random-walk search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OfflinePeerError, ParameterError
+from repro.net.node import PeerPopulation
+from repro.sim.metrics import MessageCategory, MessageMetrics
+from repro.unstructured.flooding import FloodSearch
+from repro.unstructured.overlay import UnstructuredOverlay
+from repro.unstructured.random_walk import RandomWalkSearch
+from repro.unstructured.replication import ContentReplicator
+
+
+@pytest.fixture
+def searchable(rng):
+    metrics = MessageMetrics()
+    overlay = UnstructuredOverlay(PeerPopulation(200), rng, degree=4, metrics=metrics)
+    replicator = ContentReplicator(overlay, replication=20, rng=rng)
+    replicator.place("hot", "value-hot")
+    return overlay, replicator, metrics
+
+
+class TestFloodSearch:
+    def test_finds_existing_key(self, searchable, rng):
+        overlay, _, _ = searchable
+        result = FloodSearch(overlay, ttl=8).search(0, "hot")
+        assert result.found
+        assert result.value == "value-hot"
+
+    def test_miss_returns_not_found(self, searchable):
+        overlay, _, _ = searchable
+        result = FloodSearch(overlay, ttl=8).search(0, "absent")
+        assert not result.found
+        assert result.value is None
+
+    def test_local_hit_costs_nothing(self, searchable):
+        overlay, replicator, _ = searchable
+        holder = replicator.placement_of("hot").holders[0]
+        result = FloodSearch(overlay, ttl=8).search(holder, "hot")
+        assert result.found
+        assert result.messages == 0
+
+    def test_full_flood_reaches_whole_network(self, searchable):
+        overlay, _, _ = searchable
+        result = FloodSearch(overlay, ttl=50).search(0, "absent", stop_on_hit=False)
+        assert result.reached_peers == 200
+
+    def test_full_flood_duplication_near_degree(self, searchable):
+        # In a 4-regular graph the flood sends ~2 messages per reached peer
+        # (every edge except the arrival edge, in both directions over time).
+        overlay, _, _ = searchable
+        result = FloodSearch(overlay, ttl=50).search(0, "absent", stop_on_hit=False)
+        assert 2.0 < result.duplication_factor < 4.0
+
+    def test_small_ttl_limits_reach(self, searchable):
+        overlay, _, _ = searchable
+        result = FloodSearch(overlay, ttl=2).search(0, "absent", stop_on_hit=False)
+        # Degree 4, TTL 2: at most 1 + 4 + 4*3 = 17 peers.
+        assert result.reached_peers <= 17
+        assert result.max_depth <= 2
+
+    def test_offline_origin_rejected(self, searchable):
+        overlay, _, _ = searchable
+        overlay.population.set_online(0, False)
+        with pytest.raises(OfflinePeerError):
+            FloodSearch(overlay, ttl=4).search(0, "hot")
+
+    def test_messages_counted_in_metrics(self, searchable):
+        overlay, _, metrics = searchable
+        before = metrics.total(MessageCategory.UNSTRUCTURED_SEARCH)
+        result = FloodSearch(overlay, ttl=8).search(0, "absent")
+        after = metrics.total(MessageCategory.UNSTRUCTURED_SEARCH)
+        assert after - before == result.messages
+
+    def test_invalid_ttl_rejected(self, searchable):
+        overlay, _, _ = searchable
+        with pytest.raises(ParameterError):
+            FloodSearch(overlay, ttl=0)
+
+
+class TestRandomWalkSearch:
+    def test_finds_existing_key(self, searchable, rng):
+        overlay, _, _ = searchable
+        result = RandomWalkSearch(overlay, rng, walkers=8).search(0, "hot")
+        assert result.found
+        assert result.value == "value-hot"
+
+    def test_walk_cost_near_model(self, searchable, rng):
+        # Eq. 6 predicts numPeers/repl * dup = 200/20 * dup messages. The
+        # measured mean should land within a reasonable factor.
+        overlay, _, _ = searchable
+        search = RandomWalkSearch(overlay, rng, walkers=4)
+        costs = []
+        for origin in range(40):
+            if not overlay.peer_has(origin, "hot"):
+                costs.append(search.search(origin, "hot").messages)
+        mean_cost = sum(costs) / len(costs)
+        ideal = 200 / 20
+        assert ideal * 0.5 < mean_cost < ideal * 4.0
+
+    def test_local_hit_costs_nothing(self, searchable, rng):
+        overlay, replicator, _ = searchable
+        holder = replicator.placement_of("hot").holders[0]
+        result = RandomWalkSearch(overlay, rng).search(holder, "hot")
+        assert result.found and result.messages == 0 and result.steps == 0
+
+    def test_ttl_bounds_messages(self, searchable, rng):
+        overlay, _, _ = searchable
+        search = RandomWalkSearch(overlay, rng, walkers=2, ttl=5)
+        result = search.search(0, "absent")
+        assert not result.found
+        assert result.messages <= 2 * 5
+
+    def test_finds_any_existing_key_with_generous_ttl(self, searchable, rng):
+        # The paper assumes the unstructured search "finds any key if it
+        # exists in the network"; with the default generous TTL it must.
+        overlay, replicator, _ = searchable
+        replicator.place("rare", "v")
+        search = RandomWalkSearch(overlay, rng, walkers=8)
+        for origin in (0, 50, 150):
+            assert search.search(origin, "rare").found
+
+    def test_duplication_factor_reported(self, searchable, rng):
+        overlay, _, _ = searchable
+        result = RandomWalkSearch(overlay, rng, walkers=4).search(0, "hot")
+        if result.messages:
+            assert result.duplication_factor >= 1.0
+
+    def test_offline_origin_rejected(self, searchable, rng):
+        overlay, _, _ = searchable
+        overlay.population.set_online(0, False)
+        with pytest.raises(OfflinePeerError):
+            RandomWalkSearch(overlay, rng).search(0, "hot")
+
+    def test_walkers_die_in_isolated_network(self, rng):
+        # All neighbours offline: walkers have nowhere to go.
+        overlay = UnstructuredOverlay(PeerPopulation(20), rng, degree=2)
+        for peer_id in range(1, 20):
+            overlay.population.set_online(peer_id, False)
+        result = RandomWalkSearch(overlay, rng, walkers=4).search(0, "k")
+        assert not result.found
+        assert result.messages == 0
+
+    @pytest.mark.parametrize("kwargs", [{"walkers": 0}, {"ttl": 0}])
+    def test_invalid_parameters_rejected(self, searchable, rng, kwargs):
+        overlay, _, _ = searchable
+        with pytest.raises(ParameterError):
+            RandomWalkSearch(overlay, rng, **kwargs)

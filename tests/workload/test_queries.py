@@ -1,0 +1,106 @@
+"""Tests for query workloads (stationary and shifting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.zipf import ZipfDistribution
+from repro.errors import ParameterError
+from repro.workload.queries import (
+    FlashCrowdWorkload,
+    ShuffledZipfWorkload,
+    ZipfQueryWorkload,
+)
+
+
+@pytest.fixture
+def zipf():
+    return ZipfDistribution(100, 1.2)
+
+
+class TestStationary:
+    def test_draw_returns_requested_count(self, zipf, rng):
+        workload = ZipfQueryWorkload(zipf, rng)
+        assert len(workload.draw(0.0, 25)) == 25
+
+    def test_events_carry_time_and_rank(self, zipf, rng):
+        workload = ZipfQueryWorkload(zipf, rng)
+        for event in workload.draw(3.5, 10):
+            assert event.time == 3.5
+            assert 1 <= event.rank <= 100
+
+    def test_identity_mapping_initially(self, zipf, rng):
+        workload = ZipfQueryWorkload(zipf, rng)
+        for event in workload.draw(0.0, 50):
+            assert event.key_index == event.rank - 1
+
+    def test_zipf_shape(self, zipf, rng):
+        workload = ZipfQueryWorkload(zipf, rng)
+        events = workload.draw(0.0, 10_000)
+        top10 = sum(1 for e in events if e.rank <= 10) / len(events)
+        assert top10 == pytest.approx(zipf.head_mass(10), abs=0.03)
+
+    def test_negative_count_rejected(self, zipf, rng):
+        with pytest.raises(ParameterError):
+            ZipfQueryWorkload(zipf, rng).draw(0.0, -1)
+
+    def test_rank_lookup_bounds(self, zipf, rng):
+        workload = ZipfQueryWorkload(zipf, rng)
+        with pytest.raises(ParameterError):
+            workload.key_for_rank(0)
+        with pytest.raises(ParameterError):
+            workload.key_for_rank(101)
+
+
+class TestShuffled:
+    def test_no_shift_before_time(self, zipf, rng):
+        workload = ShuffledZipfWorkload(zipf, rng, shift_time=100.0)
+        workload.draw(50.0, 10)
+        assert not workload.shifted
+
+    def test_shift_applies_once(self, zipf, rng):
+        workload = ShuffledZipfWorkload(zipf, rng, shift_time=100.0)
+        assert workload.maybe_shift(100.0) is True
+        assert workload.maybe_shift(200.0) is False
+        assert workload.shifted
+
+    def test_mapping_changes_after_shift(self, zipf, rng):
+        workload = ShuffledZipfWorkload(zipf, rng, shift_time=10.0)
+        before = [workload.key_for_rank(r) for r in range(1, 101)]
+        workload.draw(10.0, 1)
+        after = [workload.key_for_rank(r) for r in range(1, 101)]
+        assert before != after
+        assert sorted(after) == sorted(before)  # still a permutation
+
+    def test_negative_shift_time_rejected(self, zipf, rng):
+        with pytest.raises(ParameterError):
+            ShuffledZipfWorkload(zipf, rng, shift_time=-1.0)
+
+
+class TestFlashCrowd:
+    def test_cold_key_becomes_rank_one(self, zipf, rng):
+        workload = FlashCrowdWorkload(zipf, rng, crowd_time=5.0, cold_rank=100)
+        cold_key = workload.key_for_rank(100)
+        workload.draw(5.0, 1)
+        assert workload.key_for_rank(1) == cold_key
+
+    def test_other_keys_shift_down(self, zipf, rng):
+        workload = FlashCrowdWorkload(zipf, rng, crowd_time=5.0, cold_rank=100)
+        old_rank1 = workload.key_for_rank(1)
+        workload.draw(5.0, 1)
+        assert workload.key_for_rank(2) == old_rank1
+
+    def test_mapping_stays_permutation(self, zipf, rng):
+        workload = FlashCrowdWorkload(zipf, rng, crowd_time=0.0, cold_rank=42)
+        workload.draw(0.0, 1)
+        mapping = [workload.key_for_rank(r) for r in range(1, 101)]
+        assert sorted(mapping) == list(range(100))
+
+    def test_default_cold_rank_is_tail(self, zipf, rng):
+        workload = FlashCrowdWorkload(zipf, rng, crowd_time=1.0)
+        assert workload.cold_rank == 100
+
+    def test_invalid_cold_rank_rejected(self, zipf, rng):
+        with pytest.raises(ParameterError):
+            FlashCrowdWorkload(zipf, rng, crowd_time=1.0, cold_rank=0)

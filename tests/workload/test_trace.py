@@ -1,0 +1,115 @@
+"""Tests for query-trace recording and replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.zipf import ZipfDistribution
+from repro.errors import ParameterError
+from repro.workload.queries import QueryEvent, ZipfQueryWorkload
+from repro.workload.trace import QueryTrace, record_trace
+
+
+@pytest.fixture
+def workload(rng):
+    return ZipfQueryWorkload(ZipfDistribution(50, 1.2), rng)
+
+
+class TestTrace:
+    def test_append_preserves_order(self):
+        trace = QueryTrace(n_keys=10)
+        trace.append(QueryEvent(time=1.0, rank=1, key_index=0))
+        trace.append(QueryEvent(time=2.0, rank=3, key_index=2))
+        assert len(trace) == 2
+
+    def test_out_of_order_rejected(self):
+        trace = QueryTrace(n_keys=10)
+        trace.append(QueryEvent(time=2.0, rank=1, key_index=0))
+        with pytest.raises(ParameterError):
+            trace.append(QueryEvent(time=1.0, rank=1, key_index=0))
+
+    def test_key_outside_universe_rejected(self):
+        trace = QueryTrace(n_keys=5)
+        with pytest.raises(ParameterError):
+            trace.append(QueryEvent(time=0.0, rank=1, key_index=7))
+
+    def test_events_between(self):
+        trace = QueryTrace(n_keys=10)
+        for t in (0.0, 1.0, 1.5, 2.0, 3.0):
+            trace.append(QueryEvent(time=t, rank=1, key_index=0))
+        window = trace.events_between(1.0, 2.0)
+        assert [e.time for e in window] == [1.0, 1.5]
+
+    def test_events_between_invalid(self):
+        with pytest.raises(ParameterError):
+            QueryTrace().events_between(2.0, 1.0)
+
+    def test_duration_and_rate(self):
+        trace = QueryTrace(n_keys=10)
+        for t in (0.0, 5.0, 10.0):
+            trace.append(QueryEvent(time=t, rank=1, key_index=0))
+        assert trace.duration() == 10.0
+        assert trace.queries_per_second() == pytest.approx(0.3)
+
+    def test_empty_trace_stats(self):
+        trace = QueryTrace()
+        assert trace.duration() == 0.0
+        assert trace.queries_per_second() == 0.0
+
+    def test_rank_histogram(self):
+        trace = QueryTrace(n_keys=10)
+        for rank in (1, 1, 2):
+            trace.append(QueryEvent(time=0.0, rank=rank, key_index=rank - 1))
+        assert trace.rank_histogram() == {1: 2, 2: 1}
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self, workload):
+        trace = record_trace(workload, duration=5.0, queries_per_round=4)
+        restored = QueryTrace.from_json(trace.to_json())
+        assert len(restored) == len(trace)
+        assert restored.n_keys == trace.n_keys
+        assert [e.rank for e in restored] == [e.rank for e in trace]
+
+    def test_save_load_roundtrip(self, workload, tmp_path):
+        trace = record_trace(workload, duration=3.0, queries_per_round=2,
+                             description="test trace")
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        restored = QueryTrace.load(path)
+        assert restored.description == "test trace"
+        assert len(restored) == len(trace)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ParameterError):
+            QueryTrace.from_json("not json at all {")
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ParameterError):
+            QueryTrace.from_json('{"version": 99, "events": []}')
+
+
+class TestRecord:
+    def test_records_expected_volume(self, workload):
+        trace = record_trace(workload, duration=10.0, queries_per_round=5)
+        assert len(trace) == 50
+        assert trace.n_keys == 50
+
+    def test_zipf_shape_preserved(self, workload):
+        trace = record_trace(workload, duration=200.0, queries_per_round=20)
+        histogram = trace.rank_histogram()
+        assert histogram.get(1, 0) > histogram.get(40, 0)
+
+    def test_invalid_parameters(self, workload):
+        with pytest.raises(ParameterError):
+            record_trace(workload, duration=0.0, queries_per_round=1)
+        with pytest.raises(ParameterError):
+            record_trace(workload, duration=1.0, queries_per_round=-1)
+
+    def test_replay_is_deterministic_across_strategies(self, workload):
+        # The whole point: two consumers replaying the same trace see the
+        # same events.
+        trace = record_trace(workload, duration=5.0, queries_per_round=3)
+        seen_a = [(e.time, e.key_index) for e in trace]
+        seen_b = [(e.time, e.key_index) for e in QueryTrace.from_json(trace.to_json())]
+        assert seen_a == seen_b
