@@ -1,0 +1,136 @@
+"""Vectorized kernel vs discrete-event engine: speedup and agreement.
+
+Runs the partial-selection scenario at 1k / 10k / 100k peers. Both engines
+run (with calibrated per-op costs) where the event engine is tractable;
+at 100k peers only the vectorized kernel runs — that scale is the point of
+having it. Emits a JSON speedup record (printed, and written to
+``benchmarks/bench_fastsim.json``) alongside the human-readable table.
+
+Acceptance gate: the kernel must be >= 10x faster than the event engine at
+the 10k-peer scenario while agreeing within 5% on hit rate and total cost.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_fastsim.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.experiments.scenario import paper_scenario
+from repro.fastsim import calibrate_costs, compare_engines, run_fastsim
+from repro.pdht.config import PdhtConfig
+
+#: Rounds simulated per configuration (kept short: the event engine pays
+#: ~0.5-5 ms per query at these scales).
+DURATION = 60.0
+
+JSON_PATH = Path(__file__).parent / "bench_fastsim.json"
+
+
+def _scenario(num_peers: int):
+    return paper_scenario().scaled(num_peers / 20_000).with_query_freq(1 / 30)
+
+
+def _compare_at(num_peers: int, walk_probes: int) -> dict[str, object]:
+    params = _scenario(num_peers)
+    config = PdhtConfig.from_scenario(params)
+    costs = calibrate_costs(
+        params, config, lookup_probes=256, flood_probes=64,
+        walk_probes=walk_probes,
+    )
+    agreement = compare_engines(
+        params, config=config, duration=DURATION, seeds=(0,), costs=costs
+    )
+    return {
+        "num_peers": params.num_peers,
+        "n_keys": params.n_keys,
+        "duration_rounds": DURATION,
+        "event_seconds": agreement.event_seconds,
+        "vectorized_seconds": agreement.fast_seconds,
+        "speedup": agreement.speedup,
+        "event_hit_rate": agreement.event_hit_rates[0],
+        "vectorized_hit_rate": agreement.fast_hit_rates[0],
+        "hit_rate_rel_diff": agreement.hit_rate_rel_diff,
+        "cost_rel_diff": agreement.cost_rel_diff,
+        "summary": agreement.summary(),
+    }
+
+
+def _vectorized_only_at(num_peers: int) -> dict[str, object]:
+    params = _scenario(num_peers)
+    started = time.perf_counter()
+    report = run_fastsim(params, duration=DURATION, seed=0)
+    elapsed = time.perf_counter() - started
+    return {
+        "num_peers": params.num_peers,
+        "n_keys": params.n_keys,
+        "duration_rounds": DURATION,
+        "event_seconds": None,  # intractable at this scale
+        "vectorized_seconds": elapsed,
+        "vectorized_hit_rate": report.hit_rate,
+        "simulated_queries_per_second": report.simulated_queries_per_second,
+    }
+
+
+def _render(records: list[dict[str, object]]) -> str:
+    lines = ["peers    event [s]  vectorized [s]  speedup   hit-rate diff"]
+    for r in records:
+        event = r["event_seconds"]
+        event_s = f"{event:9.2f}" if event is not None else "        -"
+        speedup = f"{r['speedup']:7.0f}x" if event is not None else "       -"
+        diff = (
+            f"{100 * r['hit_rate_rel_diff']:.2f}%"
+            if "hit_rate_rel_diff" in r
+            else "-"
+        )
+        lines.append(
+            f"{r['num_peers']:<8d} {event_s}  {r['vectorized_seconds']:14.3f}"
+            f"  {speedup}   {diff}"
+        )
+    return "\n".join(lines)
+
+
+def run_benchmark() -> dict[str, object]:
+    records = [
+        _compare_at(1_000, walk_probes=256),
+        _compare_at(10_000, walk_probes=128),
+        _vectorized_only_at(100_000),
+    ]
+    payload = {
+        "benchmark": "fastsim_speedup",
+        "duration_rounds": DURATION,
+        "records": records,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_fastsim_speedup(once):
+    from benchmarks.conftest import emit
+
+    payload = once(run_benchmark)
+    records = payload["records"]
+    emit(
+        "fastsim - vectorized kernel vs event engine",
+        _render(records) + "\n\nJSON record: " + str(JSON_PATH),
+    )
+    print(json.dumps(payload, indent=2))
+    at_10k = records[1]
+    assert at_10k["num_peers"] == 10_000
+    # The acceptance gate: >= 10x at 10k peers, with both aggregates
+    # agreeing within 5%.
+    assert at_10k["speedup"] >= 10.0
+    assert at_10k["hit_rate_rel_diff"] <= 0.05
+    assert at_10k["cost_rel_diff"] <= 0.05
+    # 100k peers is vectorized-only and must still be fast.
+    assert records[2]["vectorized_seconds"] < 60.0
+
+
+if __name__ == "__main__":
+    payload = run_benchmark()
+    print(_render(payload["records"]))
+    print(json.dumps(payload, indent=2))

@@ -30,7 +30,17 @@ Subpackages:
 * :mod:`repro.replication` — replica subnetworks, rumor spreading;
 * :mod:`repro.workload` — news corpus, metadata keys, Zipf query streams;
 * :mod:`repro.pdht` — the query-adaptive partial DHT itself;
+* :mod:`repro.fastsim` — vectorized batch kernel for 10^5-10^6-peer runs;
 * :mod:`repro.experiments` — table/figure regeneration harness.
+
+Simulated experiments accept ``engine="event" | "vectorized"``; the fast
+path replays the same Section 5 semantics as whole-round numpy batches::
+
+    from repro import run_fastsim
+    from repro.experiments import fastsim_scenario
+
+    report = run_fastsim(fastsim_scenario(), duration=600.0)  # 100k peers
+    print(report.hit_rate, report.messages_per_second)
 """
 
 from repro.analysis import (
@@ -49,9 +59,17 @@ from repro.pdht import (
     QueryOutcome,
     TtlKeyStore,
 )
+from repro.fastsim import (
+    FastSimKernel,
+    FastSimReport,
+    PerOpCosts,
+    calibrate_costs,
+    compare_engines,
+    run_fastsim,
+)
 from repro.errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ScenarioParameters",
@@ -66,6 +84,12 @@ __all__ = [
     "QueryOutcome",
     "TtlKeyStore",
     "AdaptiveTtlController",
+    "FastSimKernel",
+    "FastSimReport",
+    "PerOpCosts",
+    "calibrate_costs",
+    "compare_engines",
+    "run_fastsim",
     "ReproError",
     "__version__",
 ]

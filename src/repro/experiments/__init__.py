@@ -16,7 +16,12 @@ Run everything from the command line::
 from repro.experiments.scenario import (
     paper_scenario,
     simulation_scenario,
+    fastsim_scenario,
+    resolve_engine,
     SIMULATION_SCALE,
+    FASTSIM_SCALE,
+    ENGINES,
+    DEFAULT_ENGINE,
 )
 from repro.experiments.figures import (
     FigureSeries,
@@ -27,8 +32,10 @@ from repro.experiments.figures import (
     keyttl_sensitivity,
     heuristic_vs_optimal,
     simulation_comparison,
+    simulated_figure1,
     adaptivity_experiment,
     churn_experiment,
+    staleness_experiment,
 )
 from repro.experiments.tables import table1_rows
 from repro.experiments.reporting import format_series, format_table
@@ -38,7 +45,12 @@ from repro.experiments.export import figure_to_csv, figure_to_json, save_figure
 __all__ = [
     "paper_scenario",
     "simulation_scenario",
+    "fastsim_scenario",
+    "resolve_engine",
     "SIMULATION_SCALE",
+    "FASTSIM_SCALE",
+    "ENGINES",
+    "DEFAULT_ENGINE",
     "FigureSeries",
     "figure1",
     "figure2",
@@ -47,8 +59,10 @@ __all__ = [
     "keyttl_sensitivity",
     "heuristic_vs_optimal",
     "simulation_comparison",
+    "simulated_figure1",
     "adaptivity_experiment",
     "churn_experiment",
+    "staleness_experiment",
     "table1_rows",
     "format_series",
     "format_table",

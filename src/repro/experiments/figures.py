@@ -18,16 +18,59 @@ from repro.analysis.sweep import PAPER_FREQUENCIES, sweep_frequencies
 from repro.analysis.zipf import ZipfDistribution
 from repro.errors import ParameterError
 from repro.experiments.reporting import format_period, format_series
-from repro.experiments.scenario import paper_scenario, simulation_scenario
+from repro.experiments.scenario import (
+    paper_scenario,
+    resolve_engine,
+    simulation_scenario,
+)
 from repro.net.churn import ChurnConfig
 from repro.pdht.config import PdhtConfig
 from repro.pdht.strategies import (
-    IndexAllStrategy,
-    NoIndexStrategy,
-    PartialIdealStrategy,
+    STRATEGY_CLASSES,
     PartialSelectionStrategy,
+    StrategyReport,
 )
 from repro.workload.queries import ShuffledZipfWorkload, ZipfQueryWorkload
+
+
+def _run_strategy(
+    name: str,
+    params: ScenarioParameters,
+    config: PdhtConfig,
+    duration: float,
+    seed: int = 0,
+    churn: Optional[ChurnConfig] = None,
+    window: float = 0.0,
+    engine: str = "event",
+) -> StrategyReport:
+    """Run one strategy on the selected engine; reports are interchangeable."""
+    engine = resolve_engine(engine)
+    if engine == "vectorized":
+        if churn is not None and churn.enabled:
+            # Same gate as churn_experiment, enforced at the dispatch
+            # layer so no figure can publish the kernel's unvalidated
+            # churn costs (run_fastsim remains available for churn
+            # *dynamics* studies; a disabled config is a no-op and passes).
+            raise ParameterError(
+                "vectorized figures cannot run under churn: the kernel's "
+                "churn cost model is not yet validated (see ROADMAP open "
+                "items); use engine='event'"
+            )
+        from repro.fastsim import run_fastsim
+
+        return run_fastsim(
+            params,
+            config=config,
+            duration=duration,
+            strategy=name,
+            seed=seed,
+            churn=churn,
+            window=window,
+        ).to_strategy_report()
+    strategy = STRATEGY_CLASSES[name](
+        params, config=config, seed=seed, churn=churn
+    )
+    return strategy.run(duration, window=window)
 
 __all__ = [
     "FigureSeries",
@@ -231,28 +274,27 @@ def simulation_comparison(
     seed: int = 0,
     churn: Optional[ChurnConfig] = None,
     dht_kind: str = "pgrid",
+    engine: str = "event",
 ) -> FigureSeries:
     """Section 5.2: simulated strategies vs the analytical model.
 
     Runs all four strategies on the same reduced-scale substrate and
     reports measured msg/s next to the model's prediction at the same
     scale. The claim under test is *ordering and rough factors*, not
-    absolute equality.
+    absolute equality. ``engine="vectorized"`` swaps in the batch kernel,
+    which also unlocks paper-scale (and larger) parameter sets.
     """
     params = params or simulation_scenario()
     config = PdhtConfig.from_scenario(params, dht_kind=dht_kind)
     measured: dict[str, float] = {}
     hit_rates: dict[str, float] = {}
-    for strategy_cls in (
-        NoIndexStrategy,
-        IndexAllStrategy,
-        PartialIdealStrategy,
-        PartialSelectionStrategy,
-    ):
-        strategy = strategy_cls(params, config=config, seed=seed, churn=churn)
-        report = strategy.run(duration)
-        measured[strategy.name] = report.messages_per_second
-        hit_rates[strategy.name] = report.hit_rate
+    for name in STRATEGY_CLASSES:
+        report = _run_strategy(
+            name, params, config, duration, seed=seed, churn=churn,
+            engine=engine,
+        )
+        measured[name] = report.messages_per_second
+        hit_rates[name] = report.hit_rate
 
     analytic = evaluate_strategies(params)
     selection = SelectionModel(params, key_ttl=config.key_ttl).outcome()
@@ -288,6 +330,7 @@ def churn_experiment(
     duration: float = 300.0,
     seed: int = 0,
     availabilities: Sequence[float] = (1.0, 0.75, 0.5),
+    engine: str = "event",
 ) -> FigureSeries:
     """Extension: the selection algorithm under increasing churn.
 
@@ -299,7 +342,19 @@ def churn_experiment(
     success rate tracks the replica-availability bound ``1-(1-a)^repl``
     (essentially 1 for repl = 50) while hit rate degrades gracefully and
     cost rises with re-fetching.
+
+    Event engine only: broadcast-walk cost through an offline-laden
+    overlay (lengthened and failed walks) dominates churn cost, and the
+    vectorized kernel's fixed per-walk charge misses it by multiples —
+    see ROADMAP "churn fidelity". Requesting ``engine="vectorized"``
+    raises instead of publishing an inverted figure.
     """
+    if resolve_engine(engine) == "vectorized":
+        raise ParameterError(
+            "churn_experiment needs the event engine: the vectorized "
+            "kernel's churn cost model is not yet validated (see ROADMAP "
+            "open items)"
+        )
     params = params or simulation_scenario()
     rows_success: list[float] = []
     rows_hit: list[float] = []
@@ -318,10 +373,10 @@ def churn_experiment(
                 mean_session=mean_session, mean_offline=mean_offline
             )
         config = PdhtConfig.from_scenario(params)
-        strategy = PartialSelectionStrategy(
-            params, config=config, seed=seed, churn=churn
+        report = _run_strategy(
+            "partialSelection", params, config, duration, seed=seed,
+            churn=churn, engine=engine,
         )
-        report = strategy.run(duration)
         rows_success.append(report.success_rate)
         rows_hit.append(report.hit_rate)
         rows_cost.append(report.messages_per_second)
@@ -346,10 +401,11 @@ def simulated_figure1(
     frequencies: Sequence[float] = (1 / 30, 1 / 120, 1 / 600, 1 / 1800),
     duration: float = 120.0,
     seed: int = 0,
+    engine: str = "event",
 ) -> FigureSeries:
     """Fig. 1 regenerated *in simulation* (reduced scale).
 
-    Runs all four strategies at each swept frequency on the discrete-event
+    Runs all four strategies at each swept frequency on the simulation
     substrate and reports measured msg/s — the end-to-end counterpart of
     the analytical :func:`figure1`. The shape claim under test: simulated
     ``partialIdeal`` stays below both all-or-nothing baselines at every
@@ -363,18 +419,13 @@ def simulated_figure1(
         "partialIdeal": [],
         "partialSelection": [],
     }
-    classes = {
-        "indexAll": IndexAllStrategy,
-        "noIndex": NoIndexStrategy,
-        "partialIdeal": PartialIdealStrategy,
-        "partialSelection": PartialSelectionStrategy,
-    }
     for freq in frequencies:
         scenario = params.with_query_freq(freq)
         config = PdhtConfig.from_scenario(scenario)
-        for name, cls in classes.items():
-            strategy = cls(scenario, config=config, seed=seed)
-            report = strategy.run(duration)
+        for name in series:
+            report = _run_strategy(
+                name, scenario, config, duration, seed=seed, engine=engine
+            )
             series[name].append(report.messages_per_second)
     return FigureSeries(
         name=(
@@ -470,6 +521,7 @@ def adaptivity_experiment(
     shift_at: float = 1200.0,
     window: float = 200.0,
     seed: int = 0,
+    engine: str = "event",
 ) -> FigureSeries:
     """Section 5.2 adaptivity: hit rate under a query-distribution shift.
 
@@ -484,14 +536,36 @@ def adaptivity_experiment(
             f"shift_at must be inside (0, {duration}), got {shift_at}"
         )
     config = PdhtConfig.from_scenario(params)
-    strategy = PartialSelectionStrategy(params, config=config, seed=seed)
-    workload = ShuffledZipfWorkload(
-        ZipfDistribution(params.n_keys, params.alpha),
-        strategy.network.streams.get("queries-shifted"),
-        shift_time=shift_at,
-    )
-    strategy.workload = workload
-    report = strategy.run(duration, window=window)
+    zipf = ZipfDistribution(params.n_keys, params.alpha)
+    if resolve_engine(engine) == "vectorized":
+        import numpy as np
+
+        from repro.fastsim import BatchShuffledZipfWorkload, run_fastsim
+
+        # A dedicated stream for the shifted workload, derived stably from
+        # the run seed (the event path uses the "queries-shifted" stream).
+        workload = BatchShuffledZipfWorkload(
+            zipf,
+            np.random.default_rng(np.random.SeedSequence([seed, 0x5217F])),
+            shift_time=shift_at,
+        )
+        report = run_fastsim(
+            params,
+            config=config,
+            duration=duration,
+            seed=seed,
+            workload=workload,
+            window=window,
+        ).to_strategy_report()
+    else:
+        strategy = PartialSelectionStrategy(params, config=config, seed=seed)
+        workload = ShuffledZipfWorkload(
+            zipf,
+            strategy.network.streams.get("queries-shifted"),
+            shift_time=shift_at,
+        )
+        strategy.workload = workload
+        report = strategy.run(duration, window=window)
     times = [f"{t:.0f}" for t, _ in report.hit_rate_series]
     return FigureSeries(
         name=(

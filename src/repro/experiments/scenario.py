@@ -1,4 +1,4 @@
-"""Scenario presets for the experiments.
+"""Scenario presets and engine selection for the experiments.
 
 ``paper_scenario`` is Table 1 verbatim; the analytical figures are
 evaluated at that scale. Pure-Python discrete-event simulation of 20,000
@@ -7,16 +7,54 @@ peers is possible but slow, so the simulated experiments default to
 with ``numPeers`` and ``keys`` reduced together, preserving every ratio
 the model consumes (keys per peer, replication, storage). DESIGN.md
 discusses why the *shape* of the results is scale-invariant.
+
+Two simulation engines exist, selected by the ``engine`` knob every
+simulated experiment accepts:
+
+* ``"event"`` — the discrete-event engine (:mod:`repro.sim` +
+  :mod:`repro.pdht.strategies`): per-message fidelity, capped at a few
+  thousand peers;
+* ``"vectorized"`` — the batch kernel (:mod:`repro.fastsim`): numpy
+  round-stepped execution that runs Table 1 at full scale and beyond
+  (:func:`fastsim_scenario` scales it *up* instead of down).
 """
 
 from __future__ import annotations
 
 from repro.analysis.parameters import ScenarioParameters
+from repro.errors import ParameterError
 
-__all__ = ["SIMULATION_SCALE", "paper_scenario", "simulation_scenario"]
+__all__ = [
+    "SIMULATION_SCALE",
+    "FASTSIM_SCALE",
+    "ENGINES",
+    "DEFAULT_ENGINE",
+    "resolve_engine",
+    "paper_scenario",
+    "simulation_scenario",
+    "fastsim_scenario",
+]
 
 #: Default scale-down factor for simulated experiments (Table 1 x 1/20).
 SIMULATION_SCALE = 0.05
+
+#: Default scale-up factor for vectorized runs (Table 1 x 5 = 100k peers).
+FASTSIM_SCALE = 5.0
+
+#: Supported simulation engines.
+ENGINES = ("event", "vectorized")
+
+DEFAULT_ENGINE = "event"
+
+
+def resolve_engine(engine: str) -> str:
+    """Validate an engine name; returns it normalised."""
+    name = engine.lower().strip()
+    if name not in ENGINES:
+        raise ParameterError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    return name
 
 
 def paper_scenario() -> ScenarioParameters:
@@ -33,4 +71,21 @@ def simulation_scenario(
     storage 100 — so a full index needs 1,000 active peers and the
     structural ratios of Table 1 are intact.
     """
+    return paper_scenario().scaled(scale).with_query_freq(query_freq)
+
+
+def fastsim_scenario(
+    scale: float = FASTSIM_SCALE, query_freq: float = 1.0 / 30.0
+) -> ScenarioParameters:
+    """A scaled-*up* Table 1 for the vectorized kernel.
+
+    The default (scale 5) is 100,000 peers and 200,000 keys; ``scale=50``
+    reaches the million-peer regime. Only the ``engine="vectorized"``
+    path can run these — the event engine would need hours per run.
+    """
+    if scale < 1.0:
+        raise ParameterError(
+            f"fastsim_scenario scales Table 1 up; use simulation_scenario "
+            f"for reductions (got scale={scale})"
+        )
     return paper_scenario().scaled(scale).with_query_freq(query_freq)

@@ -1,0 +1,67 @@
+"""repro.fastsim — vectorized batch simulation of million-peer PDHT runs.
+
+The discrete-event engine (:mod:`repro.sim` + :mod:`repro.pdht`) executes
+one Python callback per query, which caps realistic runs at a few thousand
+peers. The paper's headline results are aggregate statistics over Zipf
+query streams — exactly the workload shape that vectorizes — so this
+subsystem re-implements the Section 5 simulation semantics as round-stepped
+numpy batch operations:
+
+* :mod:`repro.fastsim.state` — array-of-peers network state;
+* :mod:`repro.fastsim.workload` — batched Zipf query-stream sampling
+  (stationary, shuffled, flash-crowd);
+* :mod:`repro.fastsim.kernel` — the batch execution kernel
+  (query -> hit/miss -> TTL refresh -> eviction -> cost accounting) for
+  all four Fig. 1 strategies, plus per-op cost models and the batch
+  adaptive-TTL hook;
+* :mod:`repro.fastsim.churn` — vectorized on/offline transitions;
+* :mod:`repro.fastsim.metrics` — aggregate hit-rate/cost/storage series;
+* :mod:`repro.fastsim.compare` — per-op cost calibration against the
+  event engine and cross-engine agreement checks.
+
+Select it anywhere the experiment harness runs simulations via
+``engine="vectorized"`` (see :mod:`repro.experiments.scenario`).
+"""
+
+from repro.fastsim.churn import BatchChurnProcess
+from repro.fastsim.compare import (
+    CALIBRATION_LIMIT,
+    EngineAgreement,
+    calibrate_costs,
+    compare_engines,
+    costs_for,
+)
+from repro.fastsim.kernel import (
+    FastAdaptiveTtl,
+    FastSimKernel,
+    PerOpCosts,
+    run_fastsim,
+)
+from repro.fastsim.metrics import FastSimReport, WindowRecorder
+from repro.fastsim.state import FastSimState
+from repro.fastsim.workload import (
+    BatchFlashCrowdWorkload,
+    BatchShuffledZipfWorkload,
+    BatchWorkload,
+    BatchZipfWorkload,
+)
+
+__all__ = [
+    "FastSimState",
+    "BatchWorkload",
+    "BatchZipfWorkload",
+    "BatchShuffledZipfWorkload",
+    "BatchFlashCrowdWorkload",
+    "BatchChurnProcess",
+    "PerOpCosts",
+    "FastAdaptiveTtl",
+    "FastSimKernel",
+    "run_fastsim",
+    "FastSimReport",
+    "WindowRecorder",
+    "EngineAgreement",
+    "CALIBRATION_LIMIT",
+    "calibrate_costs",
+    "costs_for",
+    "compare_engines",
+]

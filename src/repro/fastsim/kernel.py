@@ -1,0 +1,643 @@
+"""Round-stepped batch execution of the PDHT simulation semantics.
+
+Where the event engine dispatches one Python callback per query, the
+kernel processes a whole round's Zipf query batch with numpy array
+operations: liveness test against the per-key expiry array, TTL refresh of
+the hit set, unique-key miss resolution, cost accounting — five array ops
+per round regardless of how many million peers the scenario has.
+
+Faithfulness to :class:`~repro.pdht.network.PdhtNetwork` (Section 5.1):
+
+* hit iff the key's latest replica expiry is strictly after ``now`` — an
+  entry reaching its expiry instant is already dead, exactly like
+  :class:`~repro.pdht.ttl_cache.TtlKeyStore`'s ``expires_at <= now`` miss;
+* a hit rearms the expiration clock to ``now + keyTtl``;
+* a miss floods the replica subnetwork, broadcasts, and (when resolved)
+  re-inserts the key, so later queries for it *in the same round* hit —
+  reproduced exactly via unique-key decomposition of each round's batch;
+* per-operation message costs (DHT lookup, replica flood, broadcast walk,
+  gateway bootstrap, routing maintenance) are charged per event in the
+  same :class:`~repro.sim.metrics.MessageCategory` taxonomy. Costs come
+  either from the closed-form Eq. 6-8/16 expressions
+  (:meth:`PerOpCosts.analytical`) or measured off a real event-engine
+  substrate (:func:`repro.fastsim.compare.calibrate_costs`).
+
+Approximations (documented, all second-order without churn): under churn
+the kernel charges an extra replica flood on a ``1 - availability``
+fraction of hits (responsible-peer turnover) and resolves broadcasts with
+the replica-availability bound ``1 - (1 - a)^repl`` instead of walking the
+overlay graph. Churn *cost* is therefore an underestimate — the event
+engine's walks lengthen (and sometimes exhaust their TTL) through an
+offline-laden overlay, which a fixed per-walk charge cannot capture — so
+churn dynamics (hit rate, liveness) are usable but churn cost figures
+must come from the event engine (``churn_experiment`` enforces this; see
+ROADMAP "churn fidelity").
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.analysis.costs import c_search_index, c_search_unstructured
+from repro.analysis.parameters import ScenarioParameters
+from repro.analysis.selection_model import SelectionModel
+from repro.analysis.threshold import solve_threshold
+from repro.errors import ParameterError
+from repro.fastsim.churn import BatchChurnProcess
+from repro.fastsim.metrics import FastSimReport, WindowRecorder
+from repro.fastsim.state import FastSimState
+from repro.fastsim.workload import BatchWorkload, BatchZipfWorkload
+from repro.analysis.zipf import ZipfDistribution
+from repro.net.churn import ChurnConfig
+from repro.pdht.config import PdhtConfig
+from repro.pdht.strategies import STRATEGY_NAMES as STRATEGIES
+from repro.sim.metrics import MessageCategory
+
+__all__ = ["PerOpCosts", "FastAdaptiveTtl", "FastSimKernel", "run_fastsim"]
+
+
+@dataclass(frozen=True)
+class PerOpCosts:
+    """Per-operation message costs the kernel charges.
+
+    Attributes
+    ----------
+    lookup:
+        Messages per DHT lookup (``cSIndx``).
+    flood:
+        Messages per replica-subnetwork flood (the ``repl * dup2`` part of
+        ``cSIndx2``).
+    walk:
+        Messages per broadcast search (``cSUnstr``).
+    gateway_discovery:
+        Messages for one bootstrap probe pair (Section 3.2 discovery).
+    maintenance_per_round:
+        Routing-probe messages per round with all members online.
+    num_active_peers:
+        DHT size the costs were evaluated at.
+    source:
+        ``"analytical"`` (Eq. 6-8/16) or ``"calibrated"`` (measured off an
+        event-engine substrate).
+    """
+
+    lookup: float
+    flood: float
+    walk: float
+    gateway_discovery: float
+    maintenance_per_round: float
+    num_active_peers: int
+    source: str = "analytical"
+
+    def __post_init__(self) -> None:
+        for name in ("lookup", "flood", "walk", "gateway_discovery",
+                     "maintenance_per_round"):
+            if getattr(self, name) < 0:
+                raise ParameterError(f"{name} must be >= 0")
+
+    @classmethod
+    def analytical(
+        cls,
+        params: ScenarioParameters,
+        config: Optional[PdhtConfig] = None,
+        num_active_peers: Optional[int] = None,
+        key_ttl: Optional[float] = None,
+    ) -> "PerOpCosts":
+        """Closed-form costs (Eq. 6-8/16) at a given or derived DHT size."""
+        config = config or PdhtConfig.from_scenario(params)
+        if num_active_peers is None:
+            ttl = config.key_ttl if key_ttl is None else key_ttl
+            expected = SelectionModel(params, key_ttl=ttl).index_size
+            num_active_peers = params.active_peers_for(max(expected, 1.0))
+        if num_active_peers > 1:
+            maintenance = (
+                params.env * math.log2(num_active_peers) * num_active_peers
+            )
+        else:
+            maintenance = 0.0
+        return cls(
+            lookup=c_search_index(num_active_peers),
+            flood=config.replication * params.dup2,
+            walk=c_search_unstructured(
+                params.num_peers, config.replication, params.dup
+            ),
+            gateway_discovery=2.0,
+            maintenance_per_round=maintenance,
+            num_active_peers=num_active_peers,
+            source="analytical",
+        )
+
+
+class FastAdaptiveTtl:
+    """Self-tuning ``keyTtl`` hook — the batch counterpart of
+    :class:`~repro.pdht.adaptive_ttl.AdaptiveTtlController`.
+
+    Register on a kernel via ``kernel.on_round.append(hook)``. Every
+    ``retarget_interval`` rounds it recomputes
+    ``keyTtl = (cSUnstr - cSIndx) / cIndKey`` from the kernel's per-op
+    costs, the observed index size, and the observed hit/miss mix (a miss
+    search pays the replica flood on top of the lookup, exactly what the
+    event controller's EWMA measures), clamps it, and retargets the kernel.
+    """
+
+    def __init__(
+        self,
+        retarget_interval: float = 300.0,
+        min_ttl: float = 30.0,
+        max_ttl: float = 1_000_000.0,
+    ) -> None:
+        if retarget_interval <= 0:
+            raise ParameterError(
+                f"retarget_interval must be > 0, got {retarget_interval}"
+            )
+        if min_ttl < 0 or max_ttl < min_ttl:
+            raise ParameterError(
+                f"need 0 <= min_ttl <= max_ttl, got [{min_ttl}, {max_ttl}]"
+            )
+        self.retarget_interval = retarget_interval
+        self.min_ttl = min_ttl
+        self.max_ttl = max_ttl
+        self.retargets: list[tuple[float, float]] = []
+        #: Anchored on first invocation: one interval after the clock at
+        #: registration, matching simulation.every() in the event engine.
+        self._next_at: float | None = None
+        self._seen_hits = 0
+        self._seen_misses = 0
+
+    def __call__(self, kernel: "FastSimKernel", now: float) -> None:
+        if self._next_at is None:
+            # ``now`` is the end of the round that started at now - 1.
+            self._next_at = now - 1.0 + self.retarget_interval
+        if now < self._next_at:
+            return
+        self._next_at += self.retarget_interval
+        costs = kernel.costs
+        index_size = max(1, kernel.state.index_size(now))
+        c_ind_key = costs.maintenance_per_round / index_size
+        # The event controller's cSIndx estimate is a recency-weighted
+        # average of *measured* index searches: hits cost one lookup,
+        # misses add the replica flood. Weight the flood by the miss share
+        # of the last retarget window — the windowed analogue of its EWMA,
+        # so both controllers re-converge after a workload shift instead
+        # of being anchored to run-long totals.
+        hits_total = int(kernel.state.key_hits.sum())
+        misses_total = int(kernel.state.key_misses.sum())
+        window_hits = hits_total - self._seen_hits
+        window_misses = misses_total - self._seen_misses
+        self._seen_hits, self._seen_misses = hits_total, misses_total
+        searches = window_hits + window_misses
+        miss_share = window_misses / searches if searches else 0.0
+        measured_search_cost = costs.lookup + miss_share * costs.flood
+        advantage = costs.walk - measured_search_cost
+        if advantage <= 0 or c_ind_key <= 0:
+            return
+        target = min(self.max_ttl, max(self.min_ttl, advantage / c_ind_key))
+        kernel.set_key_ttl(target)
+        self.retargets.append((now, target))
+
+
+class FastSimKernel:
+    """Vectorized simulator of one indexing strategy.
+
+    Parameters
+    ----------
+    params:
+        Scenario parameters (Table 1 or a scaled variant).
+    config:
+        PDHT tuning knobs; defaults to the paper's derivation.
+    strategy:
+        One of ``noIndex`` / ``indexAll`` / ``partialIdeal`` /
+        ``partialSelection`` (the four systems of Fig. 1).
+    seed:
+        Master seed; independent child streams drive counts, workload,
+        membership, churn, and resolution draws.
+    workload:
+        Optional :class:`~repro.fastsim.workload.BatchWorkload` (defaults
+        to the stationary Zipf stream).
+    churn:
+        Optional :class:`~repro.net.churn.ChurnConfig` for vectorized
+        on/offline transitions.
+    costs:
+        Optional :class:`PerOpCosts`; the default policy
+        (:func:`repro.fastsim.compare.costs_for`) calibrates against a
+        real event-engine substrate up to
+        :data:`~repro.fastsim.compare.CALIBRATION_LIMIT` peers and uses
+        the analytical Eq. 6-8/16 costs beyond.
+    """
+
+    def __init__(
+        self,
+        params: ScenarioParameters,
+        config: Optional[PdhtConfig] = None,
+        strategy: str = "partialSelection",
+        seed: int = 0,
+        workload: Optional[BatchWorkload] = None,
+        churn: Optional[ChurnConfig] = None,
+        costs: Optional[PerOpCosts] = None,
+    ) -> None:
+        if strategy not in STRATEGIES:
+            raise ParameterError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        self.params = params
+        self.config = config or PdhtConfig.from_scenario(params)
+        self.strategy = strategy
+
+        seeds = np.random.SeedSequence(seed).spawn(5)
+        self._rng_counts = np.random.default_rng(seeds[0])
+        self._rng_workload = np.random.default_rng(seeds[1])
+        self._rng_members = np.random.default_rng(seeds[2])
+        self._rng_churn = np.random.default_rng(seeds[3])
+        self._rng_resolve = np.random.default_rng(seeds[4])
+
+        # Strategy-specific TTL and DHT size (mirrors the event-engine
+        # strategies' _adjust_config / _active_peers hooks).
+        self._max_rank = 0
+        if strategy == "noIndex":
+            self.key_ttl = 0.0
+            num_members = 2
+        elif strategy == "indexAll":
+            self.key_ttl = float("inf")
+            num_members = params.active_peers_for(params.n_keys)
+        elif strategy == "partialIdeal":
+            self.key_ttl = float("inf")
+            self._max_rank = solve_threshold(params).max_rank
+            num_members = max(2, params.active_peers_for(self._max_rank))
+        else:
+            self.key_ttl = self.config.key_ttl
+            expected = SelectionModel(
+                params, key_ttl=self.config.key_ttl
+            ).index_size
+            num_members = params.active_peers_for(max(expected, 1.0))
+
+        if costs is None:
+            # Imported lazily: compare.py imports this module at load time.
+            from repro.fastsim.compare import costs_for
+
+            costs = costs_for(params, self.config, num_members)
+        self.costs = costs
+        self.state = FastSimState(params, num_members, self._rng_members)
+        self.workload = workload or BatchZipfWorkload(
+            ZipfDistribution(params.n_keys, params.alpha), self._rng_workload
+        )
+        if self.workload.n_keys != params.n_keys:
+            raise ParameterError(
+                f"workload covers {self.workload.n_keys} keys, "
+                f"scenario has {params.n_keys}"
+            )
+        # A disabled config freezes liveness — a no-op in the event engine
+        # (ChurnProcess.start returns immediately), so treat it as absent
+        # and charge no churn surcharges.
+        self.churn: Optional[BatchChurnProcess] = None
+        if churn is not None and churn.enabled:
+            self.churn = BatchChurnProcess(churn, self._rng_churn)
+            self.churn.initialise(self.state.online)
+
+        #: End-of-round hooks ``hook(kernel, now)`` (adaptive TTL, probes).
+        self.on_round: list[Callable[["FastSimKernel", float], None]] = []
+        self.now = 0.0
+        self._update_debt = 0.0
+
+    # ------------------------------------------------------------------
+    def set_key_ttl(self, key_ttl: float) -> None:
+        """Retarget the TTL; existing entries keep their current expiry and
+        adopt the new TTL on their next hit (same as the event engine)."""
+        if key_ttl < 0:
+            raise ParameterError(f"key_ttl must be >= 0, got {key_ttl}")
+        self.key_ttl = float(key_ttl)
+
+    # ------------------------------------------------------------------
+    def run(self, duration: float, window: float = 0.0) -> FastSimReport:
+        """Simulate ``duration`` rounds; returns the aggregate report.
+
+        ``window > 0`` records hit-rate and index-size samples every
+        ``window`` rounds, like the event engine's strategy driver.
+        """
+        if duration <= 0:
+            raise ParameterError(f"duration must be > 0, got {duration}")
+        if duration != round(duration):
+            # The kernel is round-stepped; accepting a fractional duration
+            # would report rates over time it never simulated.
+            raise ParameterError(
+                f"duration must be a whole number of rounds, got {duration}"
+            )
+        started = time.perf_counter()
+        report = FastSimReport(
+            strategy=self.strategy, params=self.params, duration=duration
+        )
+        totals = {category: 0.0 for category in MessageCategory}
+        recorder = WindowRecorder(window)
+        rounds = int(round(duration))
+        rate = self.params.network_query_rate
+        counts = self._rng_counts.poisson(rate, size=rounds)
+        start = self.now
+
+        for i in range(rounds):
+            self.now += 1.0
+            now = self.now
+            if self.churn is not None:
+                report.churn_transitions += self.churn.step(self.state.online)
+            member_fraction = (
+                self.state.online_member_fraction()
+                if self.churn is not None
+                else 1.0
+            )
+            if self.strategy != "noIndex":
+                totals[MessageCategory.MAINTENANCE] += (
+                    self.costs.maintenance_per_round * member_fraction
+                )
+
+            count = int(counts[i])
+            ranks, keys = self.workload.draw_round(now, count)
+            accepted, round_hits = self._step_queries(
+                now, ranks, keys, totals, report
+            )
+            self._step_updates(totals)
+
+            recorder.record(accepted, round_hits)
+            recorder.maybe_close(
+                now - start, lambda: self._reported_index_size(now)
+            )
+            for hook in self.on_round:
+                hook(self, now)
+
+        report.messages_by_category = {
+            category: total for category, total in totals.items() if total
+        }
+        report.hit_rate_series = recorder.hit_rate_series
+        report.index_size_series = recorder.index_size_series
+        report.final_index_size = self._reported_index_size(self.now)
+        if recorder.index_size_series:
+            report.mean_index_size = sum(
+                size for _, size in recorder.index_size_series
+            ) / len(recorder.index_size_series)
+        else:
+            report.mean_index_size = float(report.final_index_size)
+        report.key_ttl = self.key_ttl
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+    # ------------------------------------------------------------------
+    # Per-round steps
+    # ------------------------------------------------------------------
+    def _step_queries(
+        self,
+        now: float,
+        ranks: np.ndarray,
+        keys: np.ndarray,
+        totals: dict[MessageCategory, float],
+        report: FastSimReport,
+    ) -> tuple[int, int]:
+        """Process one round's query batch.
+
+        Returns ``(accepted, hits)`` — ``accepted`` is how many of the
+        batch's queries actually ran (0 when nobody is online to
+        originate one), so the window recorder and the report always
+        describe the same query population.
+        """
+        count = keys.size
+        if count == 0:
+            return 0, 0
+        if self.churn is not None and not self.state.online.any():
+            # Nobody online to originate a query this round — the event
+            # engine cannot draw an origin either. Drop the batch.
+            return 0, 0
+        report.queries += count
+        if self.strategy == "noIndex":
+            # Every query broadcast; no DHT, no gateway traffic.
+            resolved = self._resolved_count(count)
+            report.answered += resolved
+            totals[MessageCategory.UNSTRUCTURED_SEARCH] += (
+                self.costs.walk * count
+            )
+            report.unresolved += count - resolved
+            return count, 0
+        if self.strategy == "indexAll":
+            # Every key pre-indexed with infinite TTL: all hits.
+            self._charge_gateways(self._draw_origins(count), totals, report)
+            totals[MessageCategory.INDEX_SEARCH] += self.costs.lookup * count
+            self._charge_churn_hit_floods(count, totals)
+            report.index_hits += count
+            report.answered += count
+            return count, count
+        if self.strategy == "partialIdeal":
+            indexed = ranks <= self._max_rank
+            hits = int(indexed.sum())
+            misses = count - hits
+            self._charge_gateways(
+                self._draw_origins(count)[indexed], totals, report
+            )
+            totals[MessageCategory.INDEX_SEARCH] += self.costs.lookup * hits
+            self._charge_churn_hit_floods(hits, totals)
+            resolved = self._resolved_count(misses)
+            totals[MessageCategory.UNSTRUCTURED_SEARCH] += (
+                self.costs.walk * misses
+            )
+            report.index_hits += hits
+            report.answered += hits + resolved
+            report.unresolved += misses - resolved
+            return count, hits
+        return count, self._step_selection(now, keys, totals, report)
+
+    def _step_selection(
+        self,
+        now: float,
+        keys: np.ndarray,
+        totals: dict[MessageCategory, float],
+        report: FastSimReport,
+    ) -> int:
+        """The Section 5.1 query path on one round's batch."""
+        state = self.state
+        count = keys.size
+        self._charge_gateways(self._draw_origins(count), totals, report)
+
+        live = state.live_mask(keys, now)
+        hit_keys = keys[live]
+        miss_keys = keys[~live]
+        unique_miss, multiplicity = np.unique(miss_keys, return_counts=True)
+
+        if self.key_ttl > 0:
+            # First occurrence of a missing key misses; once its broadcast
+            # resolves and re-inserts it, the round's later duplicates hit.
+            resolved_mask = self._resolved_mask(unique_miss.size)
+            duplicate_hits = int((multiplicity[resolved_mask] - 1).sum())
+            miss_events = int(resolved_mask.sum()) + int(
+                multiplicity[~resolved_mask].sum()
+            )
+            inserts = unique_miss[resolved_mask]
+            hits = int(live.sum()) + duplicate_hits
+            # Per-occurrence miss attribution: a resolved key misses only
+            # on its first occurrence (later duplicates hit), an
+            # unresolved key misses on every occurrence.
+            miss_weights = np.where(resolved_mask, 1, multiplicity)
+        else:
+            # Degenerate keyTtl = 0: TtlKeyStore resets a hit entry's
+            # expiry to ``now``, so an entry still live from an earlier
+            # positive-TTL era serves exactly one hit and then dies, its
+            # same-round duplicates miss, and fresh inserts expire on
+            # arrival.
+            unique_live, live_counts = np.unique(hit_keys, return_counts=True)
+            state.expires_at[unique_live] = now  # killed by their own hit
+            np.add.at(state.key_misses, unique_live, live_counts - 1)
+            report.reinsertions += int(hit_keys.size - unique_live.size)
+            miss_events = miss_keys.size + int(hit_keys.size - unique_live.size)
+            hit_keys = unique_live
+            resolved_mask = self._resolved_mask(miss_events)
+            occurrences = np.concatenate(
+                [miss_keys, np.repeat(unique_live, live_counts - 1)]
+            )
+            inserts = occurrences[resolved_mask]
+            hits = unique_live.size
+            miss_weights = multiplicity  # every occurrence misses
+
+        # In both TTL regimes insertions == number of resolved broadcasts.
+        insertions = inserts.size
+        unresolved = miss_events - insertions
+
+        # Reinsertion / cold-miss attribution (selection stats, source
+        # I/IV), weighted per occurrence like the event engine's
+        # record_miss.
+        if unique_miss.size:
+            ever = state.ever_indexed[unique_miss]
+            report.reinsertions += int(miss_weights[ever].sum())
+            report.cold_misses += int(miss_weights[~ever].sum())
+
+        # State transitions: hits rearm, resolved misses (re)insert.
+        if self.key_ttl > 0:
+            state.refresh(hit_keys, now, self.key_ttl)
+            state.refresh(inserts, now, self.key_ttl)
+        state.ever_indexed[inserts] = True
+        np.add.at(state.key_hits, hit_keys, 1)
+        if self.key_ttl > 0:
+            np.add.at(
+                state.key_hits, unique_miss[resolved_mask], multiplicity[resolved_mask] - 1
+            )
+        np.add.at(state.key_misses, unique_miss, miss_weights)
+        np.add.at(state.key_insertions, inserts, 1)
+
+        # Cost accounting (Section 5.1 / Eq. 17 event-for-event).
+        totals[MessageCategory.INDEX_SEARCH] += self.costs.lookup * (
+            count + insertions
+        )
+        totals[MessageCategory.REPLICA_FLOOD] += self.costs.flood * (
+            miss_events + insertions
+        )
+        self._charge_churn_hit_floods(hits, totals)
+        totals[MessageCategory.UNSTRUCTURED_SEARCH] += (
+            self.costs.walk * miss_events
+        )
+
+        report.index_hits += hits
+        report.insertions += insertions
+        report.answered += hits + (miss_events - unresolved)
+        report.unresolved += unresolved
+        return hits
+
+    def _step_updates(self, totals: dict[MessageCategory, float]) -> None:
+        """Proactive index updates (indexAll / partialIdeal only, Eq. 9)."""
+        if self.strategy == "indexAll":
+            per_round = self.params.n_keys * self.params.update_freq
+        elif self.strategy == "partialIdeal":
+            per_round = self._max_rank * self.params.update_freq
+        else:
+            return
+        self._update_debt += per_round
+        whole = int(self._update_debt)
+        if whole:
+            self._update_debt -= whole
+            # An update routes to the responsible peer and floods its
+            # replica subnetwork, like the event engine's proactive_update.
+            totals[MessageCategory.INDEX_SEARCH] += self.costs.lookup * whole
+            totals[MessageCategory.REPLICA_FLOOD] += self.costs.flood * whole
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _draw_origins(self, count: int) -> np.ndarray:
+        """Uniform origins among online peers (event engine parity)."""
+        if self.churn is None:
+            return self._rng_resolve.integers(
+                0, self.params.num_peers, size=count
+            )
+        online = np.flatnonzero(self.state.online)
+        if online.size == 0:
+            return np.empty(0, dtype=np.int64)
+        return online[self._rng_resolve.integers(0, online.size, size=count)]
+
+    def _charge_gateways(
+        self,
+        origins: np.ndarray,
+        totals: dict[MessageCategory, float],
+        report: FastSimReport,
+    ) -> None:
+        """First index-path query per non-member origin pays bootstrap."""
+        discoveries = self.state.discover_gateways(origins)
+        if discoveries:
+            report.gateway_discoveries += discoveries
+            per_discovery = self.costs.gateway_discovery
+            if self.churn is not None:
+                # Offline candidates force extra probe pairs (geometric).
+                availability = max(self.churn.availability, 1e-6)
+                per_discovery /= availability
+            totals[MessageCategory.MEMBERSHIP] += per_discovery * discoveries
+
+    def _charge_churn_hit_floods(
+        self, hits: int, totals: dict[MessageCategory, float]
+    ) -> None:
+        """Under churn, responsible-peer turnover makes a fraction of hits
+        pay the replica flood before a live replica answers."""
+        if self.churn is None or hits == 0:
+            return
+        stale_fraction = 1.0 - self.churn.availability
+        totals[MessageCategory.REPLICA_FLOOD] += (
+            self.costs.flood * stale_fraction * hits
+        )
+
+    def _resolved_mask(self, count: int) -> np.ndarray:
+        """Which broadcasts find the key (replica-availability bound)."""
+        if count == 0:
+            return np.zeros(0, dtype=bool)
+        if self.churn is None:
+            return np.ones(count, dtype=bool)
+        p = 1.0 - (1.0 - self.churn.availability) ** self.config.replication
+        return self._rng_resolve.random(count) < p
+
+    def _resolved_count(self, count: int) -> int:
+        return int(self._resolved_mask(count).sum())
+
+    def _reported_index_size(self, now: float) -> int:
+        if self.strategy == "indexAll":
+            return self.params.n_keys
+        if self.strategy == "partialIdeal":
+            return self._max_rank
+        if self.strategy == "noIndex":
+            return 0
+        return self.state.index_size(now)
+
+
+def run_fastsim(
+    params: ScenarioParameters,
+    config: Optional[PdhtConfig] = None,
+    duration: float = 600.0,
+    strategy: str = "partialSelection",
+    seed: int = 0,
+    workload: Optional[BatchWorkload] = None,
+    churn: Optional[ChurnConfig] = None,
+    costs: Optional[PerOpCosts] = None,
+    window: float = 0.0,
+) -> FastSimReport:
+    """Build a :class:`FastSimKernel` and run it — the one-call fast path."""
+    kernel = FastSimKernel(
+        params,
+        config=config,
+        strategy=strategy,
+        seed=seed,
+        workload=workload,
+        churn=churn,
+        costs=costs,
+    )
+    return kernel.run(duration, window=window)

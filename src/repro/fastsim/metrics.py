@@ -1,0 +1,112 @@
+"""Aggregate metrics of a batch-simulation run.
+
+:class:`FastSimReport` carries the same aggregates as the event engine's
+:class:`~repro.pdht.strategies.StrategyReport` (queries, hits, per-category
+message totals, windowed hit-rate/index-size series) plus fastsim-only
+detail (per-key counters, wall-clock speed). :meth:`FastSimReport.to_strategy_report`
+adapts it to the event-engine report type so figure generators can consume
+either engine's output through one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.pdht.strategies import StrategyReport
+from repro.sim.metrics import MessageCategory
+
+__all__ = ["WindowRecorder", "FastSimReport"]
+
+
+class WindowRecorder:
+    """Accumulates per-window hit/query counts into report series."""
+
+    def __init__(self, window: float) -> None:
+        self.window = window
+        self.queries = 0
+        self.hits = 0
+        self.next_at = window
+        self.hit_rate_series: list[tuple[float, float]] = []
+        self.index_size_series: list[tuple[float, int]] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self.window > 0
+
+    def record(self, queries: int, hits: int) -> None:
+        self.queries += queries
+        self.hits += hits
+
+    def maybe_close(self, elapsed: float, index_size: Callable[[], int]) -> None:
+        """Close the window at ``elapsed`` rounds since run start.
+
+        ``index_size`` is a thunk: sizing the index costs O(n_keys), so it
+        is only evaluated when a window actually closes.
+        """
+        if not self.enabled or elapsed < self.next_at:
+            return
+        rate = self.hits / self.queries if self.queries else 0.0
+        self.hit_rate_series.append((elapsed, rate))
+        self.index_size_series.append((elapsed, index_size()))
+        self.queries = self.hits = 0
+        self.next_at += self.window
+
+
+@dataclass
+class FastSimReport(StrategyReport):
+    """Measured outcome of one vectorized strategy run.
+
+    Subclasses the event engine's :class:`~repro.pdht.strategies.StrategyReport`
+    (same aggregates, same metric properties — one definition of hit rate
+    and msg/s for both engines) and adds fastsim-only detail.
+    """
+
+    engine: str = "vectorized"
+    insertions: int = 0
+    reinsertions: int = 0
+    cold_misses: int = 0
+    unresolved: int = 0
+    gateway_discoveries: int = 0
+    churn_transitions: int = 0
+    key_ttl: float = 0.0
+    final_index_size: int = 0
+    #: Wall-clock seconds the kernel spent (for speedup reporting).
+    elapsed_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def simulated_queries_per_second(self) -> float:
+        """Throughput of the kernel itself (queries / wall-clock second)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.queries / self.elapsed_seconds
+
+    # ------------------------------------------------------------------
+    def to_strategy_report(self) -> StrategyReport:
+        """The event-engine view of this report (engine-agnostic figures).
+
+        A :class:`FastSimReport` *is* a :class:`StrategyReport`; this
+        exists so call sites read as an explicit engine adaptation.
+        """
+        return self
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly summary (benchmark records)."""
+        return {
+            "strategy": self.strategy,
+            "engine": self.engine,
+            "num_peers": self.params.num_peers,
+            "n_keys": self.params.n_keys,
+            "duration": self.duration,
+            "queries": self.queries,
+            "hit_rate": self.hit_rate,
+            "success_rate": self.success_rate,
+            "messages_per_second": self.messages_per_second,
+            "mean_index_size": self.mean_index_size,
+            "elapsed_seconds": self.elapsed_seconds,
+            "messages_by_category": {
+                category.value: total
+                for category, total in self.messages_by_category.items()
+            },
+        }

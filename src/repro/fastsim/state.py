@@ -1,0 +1,124 @@
+"""Array-of-peers state for the vectorized batch simulator.
+
+The event engine keeps one Python object per peer and one
+:class:`~repro.pdht.ttl_cache.TtlKeyStore` per DHT member. At million-peer
+scale that representation is unusable, so the fast path collapses the
+whole network into a handful of numpy arrays.
+
+The crucial observation that makes a *per-key* (rather than per-replica)
+representation faithful: under the Section 5 selection algorithm an insert
+stamps every replica of a key with the same expiry, and a hit refreshes
+only the answering entry — which is always the entry with the latest
+expiry. The maximum expiry over a key's replicas therefore follows exactly
+the scalar recurrence
+
+    hit  (expires_at > now):  expires_at <- now + keyTtl
+    miss (resolved):          expires_at <- now + keyTtl
+
+so one float per key reproduces the event engine's index dynamics without
+materialising any per-peer store.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.parameters import ScenarioParameters
+from repro.errors import ParameterError
+
+__all__ = ["FastSimState"]
+
+
+class FastSimState:
+    """Vectorized network state: per-key index arrays + per-peer masks.
+
+    Parameters
+    ----------
+    params:
+        Scenario parameters (sizes the arrays).
+    num_members:
+        DHT members (``numActivePeers``); member origins reach the index
+        for free, everyone else pays gateway discovery once.
+    rng:
+        Randomness for the member-subset draw.
+    """
+
+    def __init__(
+        self,
+        params: ScenarioParameters,
+        num_members: int,
+        rng: np.random.Generator,
+    ) -> None:
+        if not 0 <= num_members <= params.num_peers:
+            raise ParameterError(
+                f"num_members must be in [0, {params.num_peers}], "
+                f"got {num_members}"
+            )
+        self.params = params
+        self.num_members = num_members
+        n_keys, num_peers = params.n_keys, params.num_peers
+
+        # --- per-key index plane --------------------------------------
+        #: Latest expiry over a key's replicas; -inf = not indexed.
+        self.expires_at = np.full(n_keys, -np.inf, dtype=np.float64)
+        #: Whether a key ever entered the index (reinsertion accounting).
+        self.ever_indexed = np.zeros(n_keys, dtype=bool)
+        self.key_hits = np.zeros(n_keys, dtype=np.int64)
+        self.key_misses = np.zeros(n_keys, dtype=np.int64)
+        self.key_insertions = np.zeros(n_keys, dtype=np.int64)
+
+        # --- per-peer plane -------------------------------------------
+        self.online = np.ones(num_peers, dtype=bool)
+        #: Peers that already discovered a gateway (first index-path query
+        #: from anyone else pays the bootstrap probe pair).
+        self.has_gateway = np.zeros(num_peers, dtype=bool)
+        self.is_member = np.zeros(num_peers, dtype=bool)
+        if num_members:
+            members = rng.choice(num_peers, size=num_members, replace=False)
+            self.is_member[members] = True
+        # Members are their own gateway — discovery is free for them.
+        self.has_gateway |= self.is_member
+
+    # ------------------------------------------------------------------
+    def live_mask(self, keys: np.ndarray, now: float) -> np.ndarray:
+        """Hit mask for a batch of key indices.
+
+        An entry at its expiry instant is already dead (``TtlKeyStore``
+        treats ``expires_at <= now`` as a miss), hence the strict ``>``.
+        """
+        return self.expires_at[keys] > now
+
+    def index_size(self, now: float) -> int:
+        """Number of keys currently resident in the index."""
+        return int((self.expires_at > now).sum())
+
+    def refresh(self, keys: np.ndarray, now: float, key_ttl: float) -> None:
+        """Rearm the expiration clock of ``keys`` (hit or insert path)."""
+        self.expires_at[keys] = now + key_ttl
+
+    def drop_all(self) -> None:
+        """Empty the index (e.g. a keyTtl-0 degenerate run)."""
+        self.expires_at.fill(-np.inf)
+
+    # ------------------------------------------------------------------
+    def online_count(self) -> int:
+        return int(self.online.sum())
+
+    def online_member_fraction(self) -> float:
+        """Fraction of DHT members currently online (scales maintenance)."""
+        if self.num_members == 0:
+            return 0.0
+        return float(self.online[self.is_member].sum()) / self.num_members
+
+    def discover_gateways(self, origins: np.ndarray) -> int:
+        """Mark ``origins`` as gateway-equipped; returns how many were new.
+
+        Mirrors :class:`~repro.net.bootstrap.GatewayCache`: the first
+        index-path query from a non-member origin pays one bootstrap probe
+        pair, after which the cached gateway answers for free.
+        """
+        if origins.size == 0:
+            return 0
+        fresh = np.unique(origins[~self.has_gateway[origins]])
+        self.has_gateway[fresh] = True
+        return int(fresh.size)

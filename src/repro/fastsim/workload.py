@@ -1,0 +1,120 @@
+"""Batched query-stream sampling for the vectorized kernel.
+
+Mirror of :mod:`repro.workload.queries` at batch granularity: instead of
+yielding one :class:`~repro.workload.queries.QueryEvent` per query, a batch
+workload returns whole numpy arrays of (rank, key index) pairs per round.
+The non-stationary variants reproduce the same shift semantics so the
+adaptivity experiments run unchanged on either engine.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.analysis.zipf import ZipfDistribution
+from repro.errors import ParameterError
+
+__all__ = [
+    "BatchWorkload",
+    "BatchZipfWorkload",
+    "BatchShuffledZipfWorkload",
+    "BatchFlashCrowdWorkload",
+]
+
+
+class BatchWorkload(abc.ABC):
+    """A vectorized stream of query batches over a Zipf key universe."""
+
+    def __init__(self, zipf: ZipfDistribution, rng: np.random.Generator) -> None:
+        self.zipf = zipf
+        self.rng = rng
+        #: Permutation mapping (rank - 1) -> key index. Identity at start.
+        self.rank_to_key = np.arange(zipf.n_keys)
+
+    @property
+    def n_keys(self) -> int:
+        return self.zipf.n_keys
+
+    def key_for_rank(self, rank: int) -> int:
+        """Stable key index currently holding popularity ``rank``."""
+        if not 1 <= rank <= self.n_keys:
+            raise ParameterError(f"rank must be in [1, {self.n_keys}], got {rank}")
+        return int(self.rank_to_key[rank - 1])
+
+    @abc.abstractmethod
+    def maybe_shift(self, now: float) -> bool:
+        """Apply any scheduled distribution change; True if one happened."""
+
+    def draw_round(
+        self, now: float, count: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw one round's query batch; returns ``(ranks, key_indices)``."""
+        if count < 0:
+            raise ParameterError(f"count must be >= 0, got {count}")
+        self.maybe_shift(now)
+        ranks = self.zipf.sample_ranks(self.rng, count)
+        return ranks, self.rank_to_key[ranks - 1]
+
+
+class BatchZipfWorkload(BatchWorkload):
+    """The stationary Zipf stream of the paper's evaluation."""
+
+    def maybe_shift(self, now: float) -> bool:
+        return False
+
+
+class BatchShuffledZipfWorkload(BatchWorkload):
+    """Re-draws the rank->key mapping at ``shift_time`` (wholesale change)."""
+
+    def __init__(
+        self,
+        zipf: ZipfDistribution,
+        rng: np.random.Generator,
+        shift_time: float,
+    ) -> None:
+        super().__init__(zipf, rng)
+        if shift_time < 0:
+            raise ParameterError(f"shift_time must be >= 0, got {shift_time}")
+        self.shift_time = shift_time
+        self.shifted = False
+
+    def maybe_shift(self, now: float) -> bool:
+        if not self.shifted and now >= self.shift_time:
+            self.rank_to_key = self.rng.permutation(self.n_keys)
+            self.shifted = True
+            return True
+        return False
+
+
+class BatchFlashCrowdWorkload(BatchWorkload):
+    """Promotes one cold key to rank 1 at ``crowd_time`` (breaking news)."""
+
+    def __init__(
+        self,
+        zipf: ZipfDistribution,
+        rng: np.random.Generator,
+        crowd_time: float,
+        cold_rank: int | None = None,
+    ) -> None:
+        super().__init__(zipf, rng)
+        if crowd_time < 0:
+            raise ParameterError(f"crowd_time must be >= 0, got {crowd_time}")
+        cold_rank = zipf.n_keys if cold_rank is None else cold_rank
+        if not 1 <= cold_rank <= zipf.n_keys:
+            raise ParameterError(
+                f"cold_rank must be in [1, {zipf.n_keys}], got {cold_rank}"
+            )
+        self.crowd_time = crowd_time
+        self.cold_rank = cold_rank
+        self.crowded = False
+
+    def maybe_shift(self, now: float) -> bool:
+        if not self.crowded and now >= self.crowd_time:
+            promoted = self.rank_to_key[self.cold_rank - 1]
+            mapping = np.delete(self.rank_to_key, self.cold_rank - 1)
+            self.rank_to_key = np.concatenate(([promoted], mapping))
+            self.crowded = True
+            return True
+        return False

@@ -40,6 +40,8 @@ __all__ = [
     "IndexAllStrategy",
     "PartialIdealStrategy",
     "PartialSelectionStrategy",
+    "STRATEGY_CLASSES",
+    "STRATEGY_NAMES",
 ]
 
 
@@ -334,3 +336,18 @@ class PartialSelectionStrategy(SimulatedStrategy):
     def selection_stats(self):
         """The network's selection bookkeeping (hits, reinsertions, ...)."""
         return self.network.policy.stats
+
+
+#: Canonical strategy registry (Fig. 1 order) — the single source of the
+#: name->class association for the experiment facade and the fastsim kernel.
+STRATEGY_CLASSES: dict[str, type[SimulatedStrategy]] = {
+    cls.name: cls
+    for cls in (
+        NoIndexStrategy,
+        IndexAllStrategy,
+        PartialIdealStrategy,
+        PartialSelectionStrategy,
+    )
+}
+
+STRATEGY_NAMES: tuple[str, ...] = tuple(STRATEGY_CLASSES)

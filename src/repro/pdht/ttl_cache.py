@@ -25,13 +25,19 @@ __all__ = ["TtlEntry", "TtlKeyStore"]
 
 @dataclass
 class TtlEntry:
-    """One stored key: value, expiry, and access statistics."""
+    """One stored key: value, expiry, and access statistics.
+
+    ``ttl`` is the entry's *own* expiration horizon when one was passed to
+    :meth:`TtlKeyStore.insert`; ``None`` means the entry follows the
+    store's (possibly retargeted) default TTL.
+    """
 
     key: str
     value: object
     expires_at: float
     inserted_at: float
     hits: int = 0
+    ttl: float | None = None
 
 
 class TtlKeyStore:
@@ -75,10 +81,14 @@ class TtlKeyStore:
 
     # ------------------------------------------------------------------
     def insert(self, key: str, value: object, now: float, ttl: float | None = None) -> TtlEntry:
-        """Insert or overwrite ``key``; (re)arms its expiration clock."""
-        ttl = self.ttl if ttl is None else ttl
-        if ttl < 0:
+        """Insert or overwrite ``key``; (re)arms its expiration clock.
+
+        An explicit ``ttl`` sticks to the entry: later query hits refresh
+        it by that horizon, not the store default.
+        """
+        if ttl is not None and ttl < 0:
             raise ParameterError(f"ttl must be >= 0, got {ttl}")
+        effective = self.ttl if ttl is None else ttl
         self.purge_expired(now)
         if (
             self.capacity is not None
@@ -87,7 +97,8 @@ class TtlKeyStore:
         ):
             self._evict_soonest(now)
         entry = TtlEntry(
-            key=key, value=value, expires_at=now + ttl, inserted_at=now
+            key=key, value=value, expires_at=now + effective,
+            inserted_at=now, ttl=ttl,
         )
         self._entries[key] = entry
         heapq.heappush(self._expiry_heap, (entry.expires_at, key))
@@ -95,7 +106,9 @@ class TtlKeyStore:
         return entry
 
     def query(self, key: str, now: float) -> TtlEntry | None:
-        """Look up ``key``; a hit resets its expiration to ``now + ttl``.
+        """Look up ``key``; a hit resets its expiration to ``now + ttl``,
+        honouring a per-entry TTL given at insert time over the store
+        default.
 
         Returns None on a miss, including the case where the entry expired
         before ``now`` (it is purged on the spot).
@@ -108,7 +121,7 @@ class TtlKeyStore:
             self.evictions_expired += 1
             return None
         entry.hits += 1
-        entry.expires_at = now + self.ttl
+        entry.expires_at = now + (self.ttl if entry.ttl is None else entry.ttl)
         heapq.heappush(self._expiry_heap, (entry.expires_at, key))
         return entry
 

@@ -172,13 +172,23 @@ class Simulation:
             self._running = False
 
     def step(self) -> bool:
-        """Process exactly one pending event. Returns False when idle."""
-        while self._queue:
-            scheduled = heapq.heappop(self._queue)
-            if scheduled.event.cancelled:
-                continue
-            self._now = scheduled.time
-            scheduled.event.action()
-            self._processed += 1
-            return True
-        return False
+        """Process exactly one pending event. Returns False when idle.
+
+        Like :meth:`run`, stepping is not re-entrant: a handler calling
+        ``step()`` (or ``run()``) mid-dispatch would corrupt the clock.
+        """
+        if self._running:
+            raise SimulationError("step() is not re-entrant")
+        self._running = True
+        try:
+            while self._queue:
+                scheduled = heapq.heappop(self._queue)
+                if scheduled.event.cancelled:
+                    continue
+                self._now = scheduled.time
+                scheduled.event.action()
+                self._processed += 1
+                return True
+            return False
+        finally:
+            self._running = False

@@ -1,0 +1,46 @@
+"""Tests for vectorized churn (parity with repro.net.churn)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fastsim.churn import BatchChurnProcess
+from repro.net.churn import ChurnConfig
+
+
+def test_initialise_hits_stationary_availability(rng):
+    config = ChurnConfig(mean_session=1800.0, mean_offline=600.0)
+    process = BatchChurnProcess(config, rng)
+    online = np.zeros(20_000, dtype=bool)
+    process.initialise(online)
+    assert abs(online.mean() - config.availability) < 0.02
+
+
+def test_long_run_fraction_converges(rng):
+    config = ChurnConfig(mean_session=50.0, mean_offline=50.0)
+    process = BatchChurnProcess(config, rng)
+    online = np.ones(5_000, dtype=bool)  # deliberately off steady state
+    for _ in range(400):
+        process.step(online)
+    assert abs(online.mean() - 0.5) < 0.05
+
+
+def test_transition_rate_matches_event_model(rng):
+    # Expected flips per peer per round: 1/mean_session while online.
+    config = ChurnConfig(mean_session=100.0, mean_offline=100.0)
+    process = BatchChurnProcess(config, rng)
+    online = np.ones(10_000, dtype=bool)
+    flips = process.step(online)
+    expected = 10_000 * (1.0 - np.exp(-1.0 / 100.0))
+    assert abs(flips - expected) < 4 * np.sqrt(expected)
+    assert process.transitions == flips
+
+
+def test_disabled_churn_freezes_liveness(rng):
+    config = ChurnConfig(enabled=False)
+    process = BatchChurnProcess(config, rng)
+    online = np.zeros(100, dtype=bool)
+    process.initialise(online)
+    assert online.all()  # disabled churn = everyone stays online
+    assert process.step(online) == 0
+    assert online.all()

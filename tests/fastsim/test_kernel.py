@@ -1,0 +1,353 @@
+"""Tests for the batch execution kernel."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.fastsim.kernel import (
+    FastAdaptiveTtl,
+    FastSimKernel,
+    PerOpCosts,
+    run_fastsim,
+)
+from repro.fastsim.workload import BatchShuffledZipfWorkload
+from repro.analysis.zipf import ZipfDistribution
+from repro.net.churn import ChurnConfig
+from repro.pdht.config import PdhtConfig
+from repro.sim.metrics import MessageCategory
+
+
+class TestPerOpCosts:
+    def test_analytical_matches_cost_model(self, small_params):
+        config = PdhtConfig.from_scenario(small_params)
+        costs = PerOpCosts.analytical(
+            small_params, config, num_active_peers=64
+        )
+        assert costs.lookup == pytest.approx(0.5 * math.log2(64))
+        assert costs.flood == pytest.approx(
+            config.replication * small_params.dup2
+        )
+        assert costs.walk == pytest.approx(
+            small_params.num_peers / config.replication * small_params.dup
+        )
+        assert costs.maintenance_per_round == pytest.approx(
+            small_params.env * math.log2(64) * 64
+        )
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ParameterError):
+            PerOpCosts(
+                lookup=-1.0, flood=0.0, walk=0.0, gateway_discovery=0.0,
+                maintenance_per_round=0.0, num_active_peers=2,
+            )
+
+
+class TestSelectionDynamics:
+    def test_deterministic_under_seed(self, small_params):
+        a = run_fastsim(small_params, duration=50.0, seed=7)
+        b = run_fastsim(small_params, duration=50.0, seed=7)
+        assert a.queries == b.queries
+        assert a.index_hits == b.index_hits
+        assert a.messages_by_category == b.messages_by_category
+
+    def test_hot_keys_stay_cold_keys_expire(self, small_params):
+        report = run_fastsim(small_params, duration=200.0, seed=1)
+        assert 0.0 < report.hit_rate < 1.0
+        assert 0 < report.final_index_size < small_params.n_keys
+        # Without churn every broadcast resolves: all queries answered.
+        assert report.answered == report.queries
+        assert report.unresolved == 0
+
+    def test_hit_rate_tracks_selection_model(self, small_params):
+        # The kernel's empirical pIndxd must land near Eq. 14.
+        from repro.analysis.selection_model import SelectionModel
+
+        config = PdhtConfig.from_scenario(small_params)
+        report = run_fastsim(
+            small_params, config=config, duration=400.0, seed=3
+        )
+        model = SelectionModel(small_params, key_ttl=config.key_ttl)
+        assert report.hit_rate == pytest.approx(model.p_indexed, abs=0.08)
+
+    def test_cost_accounting_identity(self, small_params):
+        # Category totals must equal per-op costs times event counts.
+        config = PdhtConfig.from_scenario(small_params)
+        costs = PerOpCosts.analytical(small_params, config)
+        report = run_fastsim(
+            small_params, config=config, duration=100.0, seed=5, costs=costs
+        )
+        misses = report.queries - report.index_hits
+        assert report.messages_by_category[
+            MessageCategory.INDEX_SEARCH
+        ] == pytest.approx(costs.lookup * (report.queries + report.insertions))
+        assert report.messages_by_category[
+            MessageCategory.REPLICA_FLOOD
+        ] == pytest.approx(costs.flood * (misses + report.insertions))
+        assert report.messages_by_category[
+            MessageCategory.UNSTRUCTURED_SEARCH
+        ] == pytest.approx(costs.walk * misses)
+        assert report.messages_by_category[
+            MessageCategory.MAINTENANCE
+        ] == pytest.approx(costs.maintenance_per_round * 100.0)
+        assert report.messages_by_category[
+            MessageCategory.MEMBERSHIP
+        ] == pytest.approx(
+            costs.gateway_discovery * report.gateway_discoveries
+        )
+
+    def test_miss_then_reinsertion_classification(self, small_params):
+        report = run_fastsim(small_params, duration=300.0, seed=2)
+        misses = report.queries - report.index_hits
+        assert report.cold_misses + report.reinsertions == misses
+        assert report.cold_misses <= small_params.n_keys
+
+    def test_zero_ttl_degenerates_to_no_hits(self, small_params):
+        config = PdhtConfig.from_scenario(small_params).with_ttl(0.0)
+        report = run_fastsim(
+            small_params, config=config, duration=50.0, seed=1
+        )
+        assert report.index_hits == 0
+        assert report.insertions == report.queries
+        assert report.final_index_size == 0
+
+    def test_retarget_to_zero_ttl_kills_entries_on_their_next_hit(
+        self, small_params
+    ):
+        # TtlKeyStore semantics: with ttl 0 a hit resets expiry to ``now``,
+        # so each entry live at the retarget serves at most one more hit.
+        kernel = FastSimKernel(small_params, seed=2)
+        kernel.run(duration=50.0)
+        live_at_switch = kernel.state.index_size(kernel.now)
+        hits_before = int(kernel.state.key_hits.sum())
+        per_key_before = kernel.state.key_hits.copy()
+        kernel.set_key_ttl(0.0)
+        report = kernel.run(duration=100.0)
+        assert report.index_hits <= live_at_switch
+        # No key hits more than once after the retarget.
+        assert (kernel.state.key_hits - per_key_before).max() <= 1
+        assert int(kernel.state.key_hits.sum()) - hits_before == report.index_hits
+
+    def test_windowed_series(self, small_params):
+        report = run_fastsim(
+            small_params, duration=100.0, seed=1, window=20.0
+        )
+        assert len(report.hit_rate_series) == 5
+        assert len(report.index_size_series) == 5
+        times = [t for t, _ in report.hit_rate_series]
+        assert times == sorted(times)
+        assert report.mean_index_size > 0
+
+    def test_invalid_inputs_rejected(self, small_params):
+        with pytest.raises(ParameterError):
+            run_fastsim(small_params, duration=0.0)
+        with pytest.raises(ParameterError, match="whole number of rounds"):
+            run_fastsim(small_params, duration=0.4)
+        with pytest.raises(ParameterError, match="whole number of rounds"):
+            run_fastsim(small_params, duration=1.4)
+        with pytest.raises(ParameterError):
+            FastSimKernel(small_params, strategy="bogus")
+        kernel = FastSimKernel(small_params)
+        with pytest.raises(ParameterError):
+            kernel.set_key_ttl(-1.0)
+
+    def test_workload_size_mismatch_rejected(self, small_params, rng):
+        workload_zipf = ZipfDistribution(small_params.n_keys + 1, 1.2)
+        with pytest.raises(ParameterError):
+            FastSimKernel(
+                small_params,
+                workload=BatchShuffledZipfWorkload(
+                    workload_zipf, rng, shift_time=1.0
+                ),
+            )
+
+
+class TestOtherStrategies:
+    def test_index_all_always_hits(self, small_params):
+        report = run_fastsim(
+            small_params, duration=50.0, seed=1, strategy="indexAll"
+        )
+        assert report.hit_rate == 1.0
+        assert report.success_rate == 1.0
+        assert MessageCategory.UNSTRUCTURED_SEARCH not in report.messages_by_category
+
+    def test_no_index_never_hits(self, small_params):
+        report = run_fastsim(
+            small_params, duration=50.0, seed=1, strategy="noIndex"
+        )
+        assert report.hit_rate == 0.0
+        assert report.success_rate == 1.0
+        categories = set(report.messages_by_category)
+        assert categories == {MessageCategory.UNSTRUCTURED_SEARCH}
+
+    def test_partial_ideal_hit_rate_is_head_mass(self, small_params):
+        from repro.analysis.threshold import solve_threshold
+
+        report = run_fastsim(
+            small_params, duration=200.0, seed=1, strategy="partialIdeal"
+        )
+        threshold = solve_threshold(small_params)
+        zipf = ZipfDistribution(small_params.n_keys, small_params.alpha)
+        assert report.hit_rate == pytest.approx(
+            zipf.head_mass(threshold.max_rank), abs=0.05
+        )
+        assert report.mean_index_size == threshold.max_rank
+
+    def test_strategy_ordering_matches_paper(self, small_params):
+        # partialIdeal must be the cheapest of the four (Fig. 1 claim).
+        rates = {
+            name: run_fastsim(
+                small_params, duration=100.0, seed=4, strategy=name
+            ).messages_per_second
+            for name in ("noIndex", "indexAll", "partialIdeal", "partialSelection")
+        }
+        assert rates["partialIdeal"] == min(rates.values())
+
+
+class TestShiftsAndChurn:
+    def test_hit_rate_collapses_and_recovers_on_shift(self, small_params):
+        zipf = ZipfDistribution(small_params.n_keys, small_params.alpha)
+        workload = BatchShuffledZipfWorkload(
+            zipf, np.random.default_rng(9), shift_time=300.0
+        )
+        report = run_fastsim(
+            small_params,
+            duration=600.0,
+            seed=2,
+            workload=workload,
+            window=50.0,
+        )
+        rates = dict(report.hit_rate_series)
+        before = rates[300.0]
+        right_after = rates[350.0]
+        recovered = rates[600.0]
+        assert right_after < before
+        assert recovered > right_after
+
+    def test_all_offline_rounds_drop_queries_without_crashing(self, small_params):
+        # Regression: partialIdeal crashed with IndexError when a round
+        # had zero online peers (empty origins vs count-length mask).
+        brutal = ChurnConfig(mean_session=0.5, mean_offline=5000.0)
+        for strategy in ("partialIdeal", "partialSelection", "indexAll"):
+            report = run_fastsim(
+                small_params,
+                duration=50.0,
+                seed=3,
+                strategy=strategy,
+                churn=brutal,
+            )
+            assert report.queries >= 0  # completed without raising
+
+    def test_dropped_batch_reports_zero_accepted(self, small_params):
+        # Regression: rounds dropped for lack of online peers used to
+        # inflate the window denominators (recorder.record(count, 0))
+        # while vanishing from the report. The step must report zero
+        # accepted queries so recorder and report stay in sync.
+        from repro.fastsim.metrics import FastSimReport
+
+        kernel = FastSimKernel(small_params, seed=3, churn=ChurnConfig())
+        kernel.state.online[:] = False
+        totals = {category: 0.0 for category in MessageCategory}
+        report = FastSimReport(
+            strategy="partialSelection", params=small_params, duration=1.0
+        )
+        keys = np.array([1, 2, 2])
+        accepted, hits = kernel._step_queries(1.0, keys, keys, totals, report)
+        assert (accepted, hits) == (0, 0)
+        assert report.queries == 0
+        assert sum(totals.values()) == 0.0
+
+    def test_per_key_stats_balance_report_under_churn(self, small_params):
+        # Regression: unresolved duplicate misses were undercounted in the
+        # per-key stats the adaptive hook consumes.
+        kernel = FastSimKernel(
+            small_params,
+            seed=7,
+            churn=ChurnConfig(mean_session=600.0, mean_offline=600.0),
+        )
+        report = kernel.run(duration=100.0)
+        assert int(kernel.state.key_hits.sum()) == report.index_hits
+        assert (
+            int(kernel.state.key_misses.sum())
+            == report.queries - report.index_hits
+        )
+
+    def test_disabled_churn_is_a_no_op(self, small_params):
+        # ChurnConfig(enabled=False) freezes liveness in the event engine;
+        # the kernel must charge no churn surcharges for it.
+        plain = run_fastsim(small_params, duration=50.0, seed=4)
+        frozen = run_fastsim(
+            small_params,
+            duration=50.0,
+            seed=4,
+            churn=ChurnConfig(enabled=False),
+        )
+        assert frozen.messages_by_category == plain.messages_by_category
+        assert frozen.index_hits == plain.index_hits
+        assert frozen.churn_transitions == 0
+
+    def test_churn_reduces_hits_and_adds_cost(self, small_params):
+        quiet = run_fastsim(small_params, duration=100.0, seed=3)
+        churned = run_fastsim(
+            small_params,
+            duration=100.0,
+            seed=3,
+            churn=ChurnConfig(mean_session=600.0, mean_offline=600.0),
+        )
+        assert churned.churn_transitions > 0
+        assert churned.success_rate <= 1.0
+        # Availability 0.5 halves maintenance (half the members online).
+        assert churned.messages_by_category[
+            MessageCategory.MAINTENANCE
+        ] < quiet.messages_by_category[MessageCategory.MAINTENANCE]
+
+
+class TestAdaptiveTtl:
+    def test_hook_retargets_towards_cost_balance(self, small_params):
+        config = PdhtConfig.from_scenario(small_params).with_ttl(5.0)
+        kernel = FastSimKernel(small_params, config=config, seed=1)
+        hook = FastAdaptiveTtl(retarget_interval=50.0, min_ttl=1.0)
+        kernel.on_round.append(hook)
+        kernel.run(duration=200.0)
+        assert hook.retargets  # it fired
+        assert kernel.key_ttl != 5.0
+        times = [t for t, _ in hook.retargets]
+        assert times[0] == pytest.approx(50.0)
+
+    def test_hook_anchors_to_attachment_time(self, small_params):
+        # Regression: attaching after the clock advanced must wait one
+        # full interval, not fire back-to-back until _next_at catches up.
+        kernel = FastSimKernel(small_params, seed=1)
+        kernel.run(duration=100.0)
+        hook = FastAdaptiveTtl(retarget_interval=50.0, min_ttl=1.0)
+        kernel.on_round.append(hook)
+        kernel.run(duration=100.0)
+        times = [t for t, _ in hook.retargets]
+        assert times, "hook never fired"
+        assert times[0] == pytest.approx(150.0)
+        assert all(
+            later - earlier >= 50.0 - 1e-9
+            for earlier, later in zip(times, times[1:])
+        )
+
+    def test_hook_validates_parameters(self):
+        with pytest.raises(ParameterError):
+            FastAdaptiveTtl(retarget_interval=0.0)
+        with pytest.raises(ParameterError):
+            FastAdaptiveTtl(min_ttl=10.0, max_ttl=1.0)
+
+    def test_report_adapter_round_trips(self, small_params):
+        report = run_fastsim(small_params, duration=50.0, seed=1, window=25.0)
+        strategy_report = report.to_strategy_report()
+        assert strategy_report.queries == report.queries
+        assert strategy_report.hit_rate == report.hit_rate
+        assert strategy_report.total_messages == pytest.approx(
+            report.total_messages
+        )
+        assert strategy_report.hit_rate_series == report.hit_rate_series
+        payload = report.to_dict()
+        assert payload["strategy"] == "partialSelection"
+        assert payload["engine"] == "vectorized"

@@ -1,0 +1,75 @@
+"""Tests for the array-of-peers state."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.fastsim.state import FastSimState
+
+
+class TestConstruction:
+    def test_starts_unindexed_and_online(self, small_params, rng):
+        state = FastSimState(small_params, num_members=10, rng=rng)
+        assert state.index_size(now=0.0) == 0
+        assert state.online_count() == small_params.num_peers
+        assert int(state.is_member.sum()) == 10
+
+    def test_members_have_gateways_for_free(self, small_params, rng):
+        state = FastSimState(small_params, num_members=10, rng=rng)
+        assert (state.has_gateway == state.is_member).all()
+
+    def test_invalid_member_count_rejected(self, small_params, rng):
+        with pytest.raises(ParameterError):
+            FastSimState(small_params, num_members=-1, rng=rng)
+        with pytest.raises(ParameterError):
+            FastSimState(
+                small_params, num_members=small_params.num_peers + 1, rng=rng
+            )
+
+
+class TestIndexDynamics:
+    def test_refresh_then_live(self, small_params, rng):
+        state = FastSimState(small_params, num_members=4, rng=rng)
+        keys = np.array([3, 7])
+        state.refresh(keys, now=5.0, key_ttl=10.0)
+        assert state.live_mask(keys, now=10.0).all()
+        assert state.index_size(now=10.0) == 2
+
+    def test_expiry_instant_is_a_miss_like_ttl_store(self, small_params, rng):
+        # TtlKeyStore treats expires_at <= now as a miss; so does the array.
+        state = FastSimState(small_params, num_members=4, rng=rng)
+        keys = np.array([0])
+        state.refresh(keys, now=0.0, key_ttl=10.0)
+        assert state.live_mask(keys, now=10.0).any() is np.False_
+        assert state.live_mask(keys, now=9.999).all()
+
+    def test_drop_all(self, small_params, rng):
+        state = FastSimState(small_params, num_members=4, rng=rng)
+        state.refresh(np.arange(5), now=0.0, key_ttl=100.0)
+        state.drop_all()
+        assert state.index_size(now=1.0) == 0
+
+
+class TestGatewayDiscovery:
+    def test_first_contact_counts_once(self, small_params, rng):
+        state = FastSimState(small_params, num_members=0, rng=rng)
+        origins = np.array([1, 2, 2, 3])
+        assert state.discover_gateways(origins) == 3
+        assert state.discover_gateways(origins) == 0
+
+    def test_member_origins_are_free(self, small_params, rng):
+        state = FastSimState(small_params, num_members=small_params.num_peers, rng=rng)
+        origins = np.arange(10)
+        assert state.discover_gateways(origins) == 0
+
+    def test_empty_batch(self, small_params, rng):
+        state = FastSimState(small_params, num_members=2, rng=rng)
+        assert state.discover_gateways(np.empty(0, dtype=np.int64)) == 0
+
+    def test_online_member_fraction(self, small_params, rng):
+        state = FastSimState(small_params, num_members=10, rng=rng)
+        assert state.online_member_fraction() == 1.0
+        state.online[state.is_member] = False
+        assert state.online_member_fraction() == 0.0

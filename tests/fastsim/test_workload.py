@@ -1,0 +1,85 @@
+"""Tests for the batched query workloads (parity with repro.workload)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.zipf import ZipfDistribution
+from repro.errors import ParameterError
+from repro.fastsim.workload import (
+    BatchFlashCrowdWorkload,
+    BatchShuffledZipfWorkload,
+    BatchZipfWorkload,
+)
+
+
+@pytest.fixture
+def zipf() -> ZipfDistribution:
+    return ZipfDistribution(200, 1.2)
+
+
+class TestStationary:
+    def test_draw_shapes_and_ranges(self, zipf, rng):
+        workload = BatchZipfWorkload(zipf, rng)
+        ranks, keys = workload.draw_round(now=1.0, count=500)
+        assert ranks.shape == keys.shape == (500,)
+        assert ranks.min() >= 1 and ranks.max() <= zipf.n_keys
+        assert keys.min() >= 0 and keys.max() < zipf.n_keys
+
+    def test_identity_mapping_at_start(self, zipf, rng):
+        workload = BatchZipfWorkload(zipf, rng)
+        ranks, keys = workload.draw_round(now=0.0, count=100)
+        assert (keys == ranks - 1).all()
+        assert workload.key_for_rank(1) == 0
+
+    def test_zipf_head_dominates(self, zipf, rng):
+        workload = BatchZipfWorkload(zipf, rng)
+        ranks, _ = workload.draw_round(now=0.0, count=20_000)
+        head_share = (ranks <= 20).mean()
+        assert head_share > zipf.head_mass(20) - 0.05
+
+    def test_negative_count_rejected(self, zipf, rng):
+        with pytest.raises(ParameterError):
+            BatchZipfWorkload(zipf, rng).draw_round(now=0.0, count=-1)
+
+    def test_bad_rank_rejected(self, zipf, rng):
+        with pytest.raises(ParameterError):
+            BatchZipfWorkload(zipf, rng).key_for_rank(0)
+
+
+class TestShuffled:
+    def test_mapping_permutes_once_at_shift(self, zipf, rng):
+        workload = BatchShuffledZipfWorkload(zipf, rng, shift_time=10.0)
+        before = workload.rank_to_key.copy()
+        assert workload.maybe_shift(9.9) is False
+        assert workload.maybe_shift(10.0) is True
+        after = workload.rank_to_key.copy()
+        assert sorted(after) == sorted(before)
+        assert (after != before).any()
+        assert workload.maybe_shift(11.0) is False  # only once
+
+    def test_draw_applies_shift(self, zipf, rng):
+        workload = BatchShuffledZipfWorkload(zipf, rng, shift_time=5.0)
+        workload.draw_round(now=6.0, count=1)
+        assert workload.shifted
+
+
+class TestFlashCrowd:
+    def test_cold_key_promoted_to_rank_one(self, zipf, rng):
+        workload = BatchFlashCrowdWorkload(zipf, rng, crowd_time=3.0)
+        cold_key = workload.key_for_rank(zipf.n_keys)
+        assert workload.maybe_shift(3.0) is True
+        assert workload.key_for_rank(1) == cold_key
+        # Everyone else shifted down one rank, nobody lost.
+        assert sorted(workload.rank_to_key) == list(range(zipf.n_keys))
+
+    def test_custom_cold_rank(self, zipf, rng):
+        workload = BatchFlashCrowdWorkload(zipf, rng, crowd_time=0.0, cold_rank=50)
+        promoted = workload.key_for_rank(50)
+        workload.maybe_shift(0.0)
+        assert workload.key_for_rank(1) == promoted
+
+    def test_invalid_cold_rank_rejected(self, zipf, rng):
+        with pytest.raises(ParameterError):
+            BatchFlashCrowdWorkload(zipf, rng, crowd_time=0.0, cold_rank=0)

@@ -59,6 +59,30 @@ class TestInsertAndQuery:
         store.insert("k", "v", now=0.0, ttl=100.0)
         assert store.query("k", now=50.0) is not None
 
+    def test_query_refresh_honours_per_entry_ttl(self):
+        # Regression: a hit used to reset expiry to now + store ttl,
+        # silently clobbering the entry's own TTL from insert().
+        store = TtlKeyStore(ttl=10.0)
+        store.insert("k", "v", now=0.0, ttl=100.0)
+        assert store.query("k", now=50.0) is not None  # expires at 150
+        assert store.query("k", now=140.0) is not None  # not 60!
+        assert store.query("k", now=241.0) is None  # 140 + 100 passed
+
+    def test_query_refresh_shorter_per_entry_ttl(self):
+        store = TtlKeyStore(ttl=100.0)
+        store.insert("k", "v", now=0.0, ttl=5.0)
+        assert store.query("k", now=4.0) is not None  # expires at 9
+        assert store.query("k", now=9.0) is None  # store default not used
+
+    def test_default_entries_follow_retargeted_store_ttl(self):
+        # Entries without an explicit TTL adopt the store's *current*
+        # default on their next hit (the adaptive controller relies on it).
+        store = TtlKeyStore(ttl=10.0)
+        store.insert("k", "v", now=0.0)
+        store.ttl = 50.0
+        assert store.query("k", now=5.0) is not None  # expires at 55
+        assert store.query("k", now=54.0) is not None
+
     def test_zero_ttl_expires_immediately(self):
         store = TtlKeyStore(ttl=0.0)
         store.insert("k", "v", now=0.0)

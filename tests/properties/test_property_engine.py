@@ -56,14 +56,24 @@ params_st = st.builds(
 @given(params=params_st)
 @settings(max_examples=40, deadline=None)
 def test_ideal_partial_never_loses_to_no_index(params):
-    """Eq. 13 <= Eq. 12 is a theorem of the model.
+    """Eq. 13 <= Eq. 12 is a theorem of the model — given one round of
+    traffic.
 
     Every indexed rank r <= maxRank satisfies
     rate*p_r >= probT_r >= fMin(maxRank) = cIndKey / (cSUnstr - cSIndx),
     so each indexed key's expected per-round query saving covers its
     indexing cost; summing gives partial <= noIndex exactly.
+
+    The first link needs Bernoulli's inequality,
+    probT = 1 - (1 - p)^rate <= rate * p, which holds only for
+    rate >= 1 — for a *fractional* network-wide query rate it reverses,
+    the probT rule slightly over-indexes, and partial can lose to noIndex
+    by a few percent (hypothesis found rate ~= 0.05 counterexamples). The
+    paper's evaluation always has rate >> 1 (20,000 peers), so the
+    theorem is asserted in that regime.
     """
     assume(params.replication <= params.num_peers)
+    assume(params.network_query_rate >= 1.0)
     costs = evaluate_strategies(params)
     slack = 1e-9 * max(costs.no_index, 1.0)
     assert costs.partial <= costs.no_index + slack

@@ -203,3 +203,44 @@ class TestStep:
         event.cancel()
         assert sim.step() is True
         assert fired == [2]
+
+    def test_step_not_reentrant(self):
+        # Regression: step() used to bypass the _running guard run() holds.
+        sim = Simulation()
+        errors = []
+
+        def nested():
+            try:
+                sim.step()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule_at(1.0, nested)
+        assert sim.step() is True
+        assert len(errors) == 1
+
+    def test_run_rejected_inside_step(self):
+        sim = Simulation()
+        errors = []
+
+        def nested():
+            try:
+                sim.run(until=10.0)
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule_at(1.0, nested)
+        sim.step()
+        assert len(errors) == 1
+
+    def test_step_usable_after_handler_raises(self):
+        sim = Simulation()
+
+        def boom():
+            raise RuntimeError("handler failure")
+
+        sim.schedule_at(1.0, boom)
+        sim.schedule_at(2.0, lambda: None)
+        with pytest.raises(RuntimeError):
+            sim.step()
+        assert sim.step() is True  # guard released despite the raise

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.replication",
     "repro.workload",
     "repro.pdht",
+    "repro.fastsim",
     "repro.experiments",
 ]
 
@@ -45,6 +46,9 @@ def test_quickstart_names_present():
         "SelectionModel",
         "solve_threshold",
         "AdaptiveTtlController",
+        "run_fastsim",
+        "compare_engines",
+        "FastSimKernel",
     ):
         assert name in repro.__all__
         assert getattr(repro, name) is not None
