@@ -3,7 +3,28 @@
 Reproduction of Klemm, Datta, Aberer, "A Query-Adaptive Partial
 Distributed Hash Table for Peer-to-Peer Systems" (EDBT 2004 workshops).
 
-Quick start::
+Quick start — the Experiment API regenerates any table or figure of the
+paper as a structured, provenance-stamped result::
+
+    from repro import run_experiment
+    from repro.experiments import experiment_names
+
+    print(experiment_names())       # table1, fig1..fig4, ..., sweep
+    result = run_experiment("sim", engine="vectorized", duration=120.0)
+    print(result.render())          # the figure as ASCII
+    result.save("out/", fmt="json") # series + scenario/engine/seed/version
+
+Or from the command line (``--list`` shows every experiment with its
+engine capabilities)::
+
+    python -m repro.experiments.runner --list
+    python -m repro.experiments.runner sim --engine vectorized
+    python -m repro.experiments.runner sweep --format json --output out/
+
+(The old ``runner.EXPERIMENTS`` dict still works but is deprecated in
+favour of the registry behind :func:`run_experiment`.)
+
+Driving the system directly::
 
     from repro import ScenarioParameters, sweep_frequencies
 
@@ -31,7 +52,9 @@ Subpackages:
 * :mod:`repro.workload` — news corpus, metadata keys, Zipf query streams;
 * :mod:`repro.pdht` — the query-adaptive partial DHT itself;
 * :mod:`repro.fastsim` — vectorized batch kernel for 10^5-10^6-peer runs;
-* :mod:`repro.experiments` — table/figure regeneration harness.
+* :mod:`repro.experiments` — the Experiment API (typed specs,
+  capability-gated engines, structured results) and the figure/table
+  generators behind it.
 
 Simulated experiments accept ``engine="event" | "vectorized"``; the fast
 path replays the same Section 5 semantics as whole-round numpy batches::
@@ -69,7 +92,13 @@ from repro.fastsim import (
 )
 from repro.errors import ReproError
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+from repro.experiments.api import (  # noqa: E402
+    ExperimentResult,
+    ExperimentSpec,
+)
+from repro.experiments.api import run as run_experiment  # noqa: E402
 
 __all__ = [
     "ScenarioParameters",
@@ -90,6 +119,9 @@ __all__ = [
     "calibrate_costs",
     "compare_engines",
     "run_fastsim",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "run_experiment",
     "ReproError",
     "__version__",
 ]

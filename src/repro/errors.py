@@ -16,6 +16,11 @@ class ParameterError(ReproError, ValueError):
     """A scenario or model parameter is out of its valid domain."""
 
 
+class CapabilityError(ParameterError):
+    """A requested engine (or other capability) is not supported by the
+    target experiment; the message carries the gate reason."""
+
+
 class ConvergenceError(ReproError, RuntimeError):
     """A fixed-point iteration failed to converge within its budget."""
 

@@ -1,16 +1,29 @@
 """Experiment harness: regenerates every table and figure of the paper.
 
-* Table 1 — :func:`repro.experiments.tables.table1_rows`
-* Fig. 1  — :func:`repro.experiments.figures.figure1`
-* Fig. 2  — :func:`repro.experiments.figures.figure2`
-* Fig. 3  — :func:`repro.experiments.figures.figure3`
-* Fig. 4  — :func:`repro.experiments.figures.figure4`
-* Section 5.1.1 keyTtl sensitivity — :func:`repro.experiments.figures.keyttl_sensitivity`
-* Section 5.2 simulation — :func:`repro.experiments.figures.simulation_comparison`
+The public surface is the **Experiment API** (:mod:`repro.experiments.api`):
+every experiment is a registered :class:`ExperimentSpec` with typed
+parameters and capability-gated engines, executed via :func:`run` into an
+:class:`ExperimentResult` that carries the figure payload plus provenance
+(scenario, engine, seed, wall-clock, version)::
 
-Run everything from the command line::
+    from repro.experiments import run_experiment, experiment_names
 
+    print(experiment_names())            # table1, fig1..fig4, ..., sweep
+    result = run_experiment("sim", engine="vectorized", duration=120.0)
+    print(result.render())
+    result.save("out/", fmt="json")      # provenance-stamped export
+
+From the command line::
+
+    python -m repro.experiments.runner --list
     python -m repro.experiments.runner all
+    python -m repro.experiments.runner sweep --engine vectorized \\
+        --format json --output out/
+
+The underlying data generators remain importable directly
+(:mod:`~repro.experiments.figures`, :mod:`~repro.experiments.tables`,
+:mod:`~repro.experiments.sweeps`). The old ``runner.EXPERIMENTS`` dict is
+deprecated — it now shims onto the registry.
 """
 
 from repro.experiments.scenario import (
@@ -37,10 +50,32 @@ from repro.experiments.figures import (
     churn_experiment,
     staleness_experiment,
 )
-from repro.experiments.tables import table1_rows
+from repro.experiments.tables import TableSeries, table1_rows, table1_series
 from repro.experiments.reporting import format_series, format_table
 from repro.experiments.stats import MetricSummary, SeedSummary, replicate, summarise
-from repro.experiments.export import figure_to_csv, figure_to_json, save_figure
+from repro.experiments.export import (
+    figure_to_csv,
+    figure_to_json,
+    load_figure_json,
+    save_figure,
+    result_to_json,
+    load_result_json,
+    save_result,
+)
+from repro.experiments.api import (
+    ANALYTICAL,
+    SIMULATED,
+    ExperimentParams,
+    ExperimentSpec,
+    ExperimentResult,
+    REGISTRY,
+    experiment,
+    get_spec,
+    experiment_names,
+    iter_specs,
+)
+from repro.experiments.api import run as run_experiment
+from repro.experiments.sweeps import GridAxes, GridPoint, sweep_grid
 
 __all__ = [
     "paper_scenario",
@@ -63,7 +98,9 @@ __all__ = [
     "adaptivity_experiment",
     "churn_experiment",
     "staleness_experiment",
+    "TableSeries",
     "table1_rows",
+    "table1_series",
     "format_series",
     "format_table",
     "MetricSummary",
@@ -72,5 +109,23 @@ __all__ = [
     "summarise",
     "figure_to_csv",
     "figure_to_json",
+    "load_figure_json",
     "save_figure",
+    "result_to_json",
+    "load_result_json",
+    "save_result",
+    "ANALYTICAL",
+    "SIMULATED",
+    "ExperimentParams",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "REGISTRY",
+    "experiment",
+    "get_spec",
+    "experiment_names",
+    "iter_specs",
+    "run_experiment",
+    "GridAxes",
+    "GridPoint",
+    "sweep_grid",
 ]

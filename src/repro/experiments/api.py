@@ -1,0 +1,602 @@
+"""First-class Experiment API: typed specs, capability-gated engines,
+structured results, and a decorator-based registry.
+
+The paper's deliverable is its experiment suite (Table 1, Figs. 1-4, the
+churn/staleness/adaptivity extensions). This module makes each experiment
+a declarative object instead of a string-keyed lambda:
+
+* :class:`ExperimentSpec` — name, title, kind (``analytical`` vs
+  ``simulated``), the *capability set* of engines it supports (replacing
+  the old ``_event_engine_only`` wrapper), and a typed default parameter
+  set (:class:`ExperimentParams`);
+* the :func:`experiment` decorator registers a builder function under its
+  spec; :func:`get_spec` / :func:`experiment_names` / :data:`REGISTRY`
+  expose the registry;
+* :func:`run` — the programmatic entry point: validates overrides against
+  the spec, resolves the engine against the capability set (raising
+  :class:`~repro.errors.CapabilityError` with the gate reason when an
+  unsupported engine is requested), executes the builder and wraps the
+  figure in an :class:`ExperimentResult` that carries full provenance
+  (scenario parameters, engine, seed, wall-clock, package version).
+
+The CLI (:mod:`repro.experiments.runner`) consumes only this registry::
+
+    from repro.experiments.api import run
+
+    result = run("sim", engine="vectorized", duration=120.0)
+    print(result.render())
+    result.save("out/", fmt="json")     # provenance-stamped export
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, fields as dataclass_fields, replace
+from pathlib import Path
+from typing import Callable, Iterator, Mapping, Optional
+
+from repro.analysis.parameters import ScenarioParameters
+from repro.errors import CapabilityError, ParameterError
+from repro.experiments import figures, tables
+from repro.experiments.figures import FigureSeries
+from repro.experiments.scenario import (
+    ENGINES,
+    SIMULATION_SCALE,
+    paper_scenario,
+    resolve_engine,
+    simulation_scenario,
+)
+
+__all__ = [
+    "ANALYTICAL",
+    "SIMULATED",
+    "KINDS",
+    "ExperimentParams",
+    "ExperimentSpec",
+    "ExperimentContext",
+    "ExperimentResult",
+    "experiment",
+    "register",
+    "get_spec",
+    "experiment_names",
+    "iter_specs",
+    "REGISTRY",
+    "run",
+]
+
+#: Experiment kinds: closed-form model evaluations vs simulation runs.
+ANALYTICAL = "analytical"
+SIMULATED = "simulated"
+KINDS = (ANALYTICAL, SIMULATED)
+
+
+# ----------------------------------------------------------------------
+# Typed parameters
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentParams:
+    """The typed parameter set an experiment can accept.
+
+    Every field is optional; an :class:`ExperimentSpec` declares which
+    fields it *accepts* and supplies defaults for them. ``None`` means
+    "not applicable / derive a default" (e.g. ``shift_at`` defaults to
+    half the duration in the adaptivity experiment).
+    """
+
+    engine: Optional[str] = None
+    duration: Optional[float] = None
+    seed: Optional[int] = None
+    scale: Optional[float] = None
+    shift_at: Optional[float] = None
+    window: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.duration is not None and self.duration <= 0:
+            raise ParameterError(f"duration must be > 0, got {self.duration}")
+        if self.seed is not None and not isinstance(self.seed, int):
+            raise ParameterError(f"seed must be an integer, got {self.seed!r}")
+        if self.scale is not None and self.scale <= 0:
+            raise ParameterError(f"scale must be > 0, got {self.scale}")
+        if self.shift_at is not None and self.shift_at <= 0:
+            raise ParameterError(f"shift_at must be > 0, got {self.shift_at}")
+        if self.window is not None and self.window < 0:
+            raise ParameterError(f"window must be >= 0, got {self.window}")
+
+    def to_dict(self) -> dict[str, object]:
+        """Only the fields that are set (for provenance records)."""
+        return {
+            f.name: getattr(self, f.name)
+            for f in dataclass_fields(self)
+            if getattr(self, f.name) is not None
+        }
+
+
+#: Names a spec may declare in ``accepts``.
+PARAM_NAMES = frozenset(f.name for f in dataclass_fields(ExperimentParams))
+
+
+# ----------------------------------------------------------------------
+# Specs and the registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentContext:
+    """Everything a builder needs: the resolved engine, the scenario the
+    run is evaluated on, and the merged parameter set."""
+
+    spec: "ExperimentSpec"
+    engine: Optional[str]
+    scenario: ScenarioParameters
+    params: ExperimentParams
+
+    @property
+    def duration(self) -> float:
+        if self.params.duration is None:
+            raise ParameterError(
+                f"experiment {self.spec.name!r} has no duration"
+            )
+        return self.params.duration
+
+    @property
+    def seed(self) -> int:
+        return self.params.seed if self.params.seed is not None else 0
+
+    @property
+    def shift_at(self) -> float:
+        """Shift time; defaults to half the duration."""
+        if self.params.shift_at is not None:
+            return self.params.shift_at
+        return self.duration / 2.0
+
+    @property
+    def window(self) -> float:
+        """Metric window; defaults to a twelfth of the duration."""
+        if self.params.window is not None:
+            return self.params.window
+        return self.duration / 12.0
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: identity, capabilities, defaults."""
+
+    name: str
+    title: str
+    kind: str
+    builder: Callable[[ExperimentContext], FigureSeries]
+    #: Engines this experiment supports. Empty for analytical experiments
+    #: (there is nothing to simulate); the first entry is the default.
+    engines: tuple[str, ...] = ()
+    #: Why the capability set is restricted (shown in error messages and
+    #: ``--list`` when not every engine is supported).
+    gate_reason: str = ""
+    #: Which :class:`ExperimentParams` fields :func:`run` may override.
+    accepts: frozenset = frozenset()
+    defaults: ExperimentParams = field(default_factory=ExperimentParams)
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("-", "").isalnum():
+            raise ParameterError(
+                f"experiment name must be a non-empty slug, got {self.name!r}"
+            )
+        if self.kind not in KINDS:
+            raise ParameterError(
+                f"unknown experiment kind {self.kind!r}; expected one of {KINDS}"
+            )
+        unknown = set(self.accepts) - PARAM_NAMES
+        if unknown:
+            raise ParameterError(
+                f"experiment {self.name!r} accepts unknown parameters: "
+                f"{sorted(unknown)}"
+            )
+        if self.kind == ANALYTICAL:
+            if self.engines:
+                raise ParameterError(
+                    f"analytical experiment {self.name!r} cannot declare "
+                    f"engine capabilities"
+                )
+        else:
+            if not self.engines:
+                raise ParameterError(
+                    f"simulated experiment {self.name!r} must declare at "
+                    f"least one engine capability"
+                )
+            bad = set(self.engines) - set(ENGINES)
+            if bad:
+                raise ParameterError(
+                    f"experiment {self.name!r} declares unknown engines "
+                    f"{sorted(bad)}; known: {ENGINES}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def default_engine(self) -> Optional[str]:
+        return self.engines[0] if self.engines else None
+
+    def supports(self, engine: str) -> bool:
+        return resolve_engine(engine) in self.engines
+
+    def resolve_engine_request(self, requested: Optional[str]) -> Optional[str]:
+        """Map a requested engine onto the capability set.
+
+        Analytical experiments ignore the request (there is nothing to
+        simulate). Simulated experiments fall back to their default when
+        no engine is requested and *fail loudly* — with the gate reason —
+        when an unsupported one is.
+        """
+        if self.kind == ANALYTICAL:
+            return None
+        if requested is None:
+            return self.default_engine
+        engine = resolve_engine(requested)
+        if engine not in self.engines:
+            reason = f": {self.gate_reason}" if self.gate_reason else ""
+            raise CapabilityError(
+                f"experiment {self.name!r} does not support engine "
+                f"{engine!r} (supported: {', '.join(self.engines)}){reason}"
+            )
+        return engine
+
+    def capability_label(self) -> str:
+        """Short engine-capability description for listings."""
+        if self.kind == ANALYTICAL:
+            return "-"
+        marked = [
+            f"{e}*" if e == self.default_engine else e for e in self.engines
+        ]
+        return ",".join(marked)
+
+
+#: Registration order is presentation order (``--list``, ``all``).
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+class _RegistryView(Mapping):
+    """Read-only live view of the registry (mutation goes via register)."""
+
+    def __getitem__(self, name: str) -> ExperimentSpec:
+        return _REGISTRY[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(_REGISTRY)
+
+    def __len__(self) -> int:
+        return len(_REGISTRY)
+
+
+REGISTRY: Mapping[str, ExperimentSpec] = _RegistryView()
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add a spec to the registry; duplicate names are programming errors."""
+    if spec.name in _REGISTRY:
+        raise ParameterError(f"experiment {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def experiment(
+    name: str,
+    title: str,
+    kind: str,
+    engines: tuple[str, ...] = (),
+    gate_reason: str = "",
+    accepts: frozenset | set | tuple = frozenset(),
+    **defaults: object,
+):
+    """Decorator: register the decorated builder as an experiment.
+
+    ``defaults`` become the spec's :class:`ExperimentParams` defaults::
+
+        @experiment("sim", "Sec. 5.2 ...", SIMULATED,
+                    engines=("event", "vectorized"),
+                    accepts={"engine", "duration", "seed", "scale"},
+                    duration=300.0, seed=0, scale=SIMULATION_SCALE)
+        def _sim(ctx: ExperimentContext) -> FigureSeries:
+            ...
+    """
+
+    def decorate(
+        builder: Callable[[ExperimentContext], FigureSeries],
+    ) -> Callable[[ExperimentContext], FigureSeries]:
+        register(
+            ExperimentSpec(
+                name=name,
+                title=title,
+                kind=kind,
+                builder=builder,
+                engines=tuple(engines),
+                gate_reason=gate_reason,
+                accepts=frozenset(accepts),
+                defaults=ExperimentParams(**defaults),  # type: ignore[arg-type]
+            )
+        )
+        return builder
+
+    return decorate
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    if name not in _REGISTRY:
+        raise ParameterError(
+            f"unknown experiment {name!r}; available: {experiment_names()}"
+        )
+    return _REGISTRY[name]
+
+
+def experiment_names() -> list[str]:
+    return list(_REGISTRY)
+
+
+def iter_specs() -> Iterator[ExperimentSpec]:
+    return iter(_REGISTRY.values())
+
+
+# ----------------------------------------------------------------------
+# Structured results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One executed experiment: the figure/table payload plus provenance."""
+
+    name: str
+    title: str
+    kind: str
+    figure: FigureSeries
+    engine: Optional[str]
+    #: The scenario the run was evaluated on (``ScenarioParameters.to_dict``).
+    scenario: dict[str, object]
+    #: The resolved parameter values the spec accepted (engine excluded —
+    #: it has its own field).
+    parameters: dict[str, object]
+    seed: Optional[int]
+    wall_clock_seconds: float
+    version: str
+
+    def render(self) -> str:
+        return self.figure.render()
+
+    def provenance(self) -> dict[str, object]:
+        """The machine-readable who/what/how of this result."""
+        return {
+            "experiment": self.name,
+            "kind": self.kind,
+            "engine": self.engine,
+            "scenario": dict(self.scenario),
+            "parameters": dict(self.parameters),
+            "seed": self.seed,
+            "wall_clock_seconds": self.wall_clock_seconds,
+            "version": self.version,
+        }
+
+    def to_json(self) -> str:
+        from repro.experiments.export import result_to_json
+
+        return result_to_json(self)
+
+    def to_csv(self) -> str:
+        from repro.experiments.export import figure_to_csv
+
+        return figure_to_csv(self.figure)
+
+    def save(self, directory: str | Path, fmt: str = "json") -> Path:
+        """Write ``<directory>/<name>.<fmt>`` and return the path."""
+        from repro.experiments.export import save_result
+
+        return save_result(self, directory, fmt=fmt)
+
+
+# ----------------------------------------------------------------------
+# The programmatic entry point
+# ----------------------------------------------------------------------
+def run(name: str, **overrides: object) -> ExperimentResult:
+    """Run a registered experiment with typed overrides.
+
+    Unknown parameter names and parameters the experiment does not accept
+    raise :class:`~repro.errors.ParameterError`; requesting an engine
+    outside the spec's capability set raises
+    :class:`~repro.errors.CapabilityError` with the gate reason.
+    """
+    spec = get_spec(name)
+    unknown = set(overrides) - PARAM_NAMES
+    if unknown:
+        raise ParameterError(
+            f"unknown experiment parameters {sorted(unknown)}; "
+            f"known: {sorted(PARAM_NAMES)}"
+        )
+    unaccepted = set(overrides) - set(spec.accepts)
+    if unaccepted:
+        accepted = sorted(spec.accepts) or "none"
+        raise ParameterError(
+            f"experiment {name!r} does not take {sorted(unaccepted)}; "
+            f"accepted parameters: {accepted}"
+        )
+    merged = replace(spec.defaults, **overrides)  # type: ignore[arg-type]
+    engine = spec.resolve_engine_request(merged.engine)
+    if spec.kind == ANALYTICAL:
+        scenario = paper_scenario()
+    else:
+        scale = merged.scale if merged.scale is not None else SIMULATION_SCALE
+        scenario = simulation_scenario(scale=scale)
+    ctx = ExperimentContext(
+        spec=spec,
+        engine=engine,
+        scenario=scenario,
+        params=replace(merged, engine=engine),
+    )
+    started = time.perf_counter()
+    figure = spec.builder(ctx)
+    wall_clock = time.perf_counter() - started
+
+    import repro  # late: repro/__init__ imports this module at its end
+
+    return ExperimentResult(
+        name=spec.name,
+        title=spec.title,
+        kind=spec.kind,
+        figure=figure,
+        engine=engine,
+        scenario=scenario.to_dict(),
+        parameters={
+            key: value
+            for key, value in ctx.params.to_dict().items()
+            if key != "engine"
+        },
+        seed=merged.seed,
+        wall_clock_seconds=wall_clock,
+        version=repro.__version__,
+    )
+
+
+# ----------------------------------------------------------------------
+# The built-in experiment suite (the old EXPERIMENTS dict, as specs)
+# ----------------------------------------------------------------------
+@experiment(
+    "table1",
+    "Table 1 - parameters of the sample scenario",
+    ANALYTICAL,
+)
+def _table1(ctx: ExperimentContext) -> FigureSeries:
+    return tables.table1_series(ctx.scenario)
+
+
+@experiment("fig1", "Fig. 1 - total cost vs query frequency", ANALYTICAL)
+def _fig1(ctx: ExperimentContext) -> FigureSeries:
+    return figures.figure1(ctx.scenario)
+
+
+@experiment("fig2", "Fig. 2 - savings of ideal partial indexing", ANALYTICAL)
+def _fig2(ctx: ExperimentContext) -> FigureSeries:
+    return figures.figure2(ctx.scenario)
+
+
+@experiment("fig3", "Fig. 3 - indexed fraction and pIndxd", ANALYTICAL)
+def _fig3(ctx: ExperimentContext) -> FigureSeries:
+    return figures.figure3(ctx.scenario)
+
+
+@experiment("fig4", "Fig. 4 - savings with the selection algorithm", ANALYTICAL)
+def _fig4(ctx: ExperimentContext) -> FigureSeries:
+    return figures.figure4(ctx.scenario)
+
+
+@experiment(
+    "keyttl",
+    "Sec. 5.1.1 - keyTtl estimation-error sensitivity",
+    ANALYTICAL,
+)
+def _keyttl(ctx: ExperimentContext) -> FigureSeries:
+    return figures.keyttl_sensitivity(ctx.scenario)
+
+
+@experiment(
+    "optimal",
+    "Extension - heuristics vs exact optima",
+    ANALYTICAL,
+)
+def _optimal(ctx: ExperimentContext) -> FigureSeries:
+    return figures.heuristic_vs_optimal(ctx.scenario)
+
+
+@experiment(
+    "sim",
+    "Sec. 5.2 - simulated strategies vs the analytical model",
+    SIMULATED,
+    engines=("event", "vectorized"),
+    accepts={"engine", "duration", "seed", "scale"},
+    duration=300.0,
+    seed=0,
+    scale=SIMULATION_SCALE,
+)
+def _sim(ctx: ExperimentContext) -> FigureSeries:
+    return figures.simulation_comparison(
+        params=ctx.scenario,
+        duration=ctx.duration,
+        seed=ctx.seed,
+        engine=ctx.engine,
+    )
+
+
+@experiment(
+    "adaptivity",
+    "Sec. 5.2 - hit rate under a query-distribution shift",
+    SIMULATED,
+    engines=("event", "vectorized"),
+    accepts={"engine", "duration", "seed", "scale", "shift_at", "window"},
+    duration=1200.0,
+    seed=0,
+    scale=SIMULATION_SCALE,
+)
+def _adaptivity(ctx: ExperimentContext) -> FigureSeries:
+    return figures.adaptivity_experiment(
+        params=ctx.scenario,
+        duration=ctx.duration,
+        shift_at=ctx.shift_at,
+        window=ctx.window,
+        seed=ctx.seed,
+        engine=ctx.engine,
+    )
+
+
+@experiment(
+    "churn",
+    "Extension - selection algorithm under churn",
+    SIMULATED,
+    engines=("event",),
+    gate_reason=(
+        "the vectorized kernel's churn cost model underestimates "
+        "broadcast-walk costs through an offline-laden overlay (see "
+        "ROADMAP 'churn fidelity')"
+    ),
+    accepts={"engine", "duration", "seed", "scale"},
+    duration=240.0,
+    seed=0,
+    scale=SIMULATION_SCALE,
+)
+def _churn(ctx: ExperimentContext) -> FigureSeries:
+    return figures.churn_experiment(
+        params=ctx.scenario,
+        duration=ctx.duration,
+        seed=ctx.seed,
+        engine=ctx.engine,
+    )
+
+
+@experiment(
+    "staleness",
+    "Extension - index staleness without proactive updates",
+    SIMULATED,
+    engines=("event",),
+    gate_reason=(
+        "staleness needs per-hit payload versions, which the vectorized "
+        "kernel does not track yet (see ROADMAP open items)"
+    ),
+    accepts={"engine", "duration", "seed", "scale"},
+    duration=300.0,
+    seed=0,
+    scale=0.02,
+)
+def _staleness(ctx: ExperimentContext) -> FigureSeries:
+    return figures.staleness_experiment(
+        params=ctx.scenario,
+        duration=ctx.duration,
+        seed=ctx.seed,
+    )
+
+
+@experiment(
+    "simfig1",
+    "Fig. 1 regenerated in simulation",
+    SIMULATED,
+    engines=("event", "vectorized"),
+    accepts={"engine", "duration", "seed", "scale"},
+    duration=120.0,
+    seed=0,
+    scale=0.02,
+)
+def _simfig1(ctx: ExperimentContext) -> FigureSeries:
+    return figures.simulated_figure1(
+        params=ctx.scenario,
+        duration=ctx.duration,
+        seed=ctx.seed,
+        engine=ctx.engine,
+    )

@@ -1,8 +1,13 @@
-"""Export reproduced figures as CSV or JSON.
+"""Export reproduced figures and experiment results as CSV or JSON.
 
 Downstream plotting (gnuplot, matplotlib, spreadsheets) wants raw series,
 not ASCII tables; these helpers serialise any
-:class:`~repro.experiments.figures.FigureSeries` losslessly.
+:class:`~repro.experiments.figures.FigureSeries` losslessly. The
+``result_*`` helpers do the same for
+:class:`~repro.experiments.api.ExperimentResult`, wrapping the figure in
+a provenance envelope (scenario parameters, engine, seed, wall-clock,
+package version) so an exported grid or figure is reproducible from the
+file alone.
 """
 
 from __future__ import annotations
@@ -11,11 +16,23 @@ import csv
 import io
 import json
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.errors import ParameterError
 from repro.experiments.figures import FigureSeries
 
-__all__ = ["figure_to_csv", "figure_to_json", "save_figure", "load_figure_json"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.api import ExperimentResult
+
+__all__ = [
+    "figure_to_csv",
+    "figure_to_json",
+    "save_figure",
+    "load_figure_json",
+    "result_to_json",
+    "load_result_json",
+    "save_result",
+]
 
 
 def figure_to_csv(figure: FigureSeries) -> str:
@@ -29,17 +46,22 @@ def figure_to_csv(figure: FigureSeries) -> str:
 
 
 def figure_to_json(figure: FigureSeries) -> str:
-    """Render a figure as JSON (name, notes, x axis, series)."""
-    return json.dumps(
-        {
-            "name": figure.name,
-            "x_label": figure.x_label,
-            "x_values": list(figure.x_values),
-            "series": {k: list(v) for k, v in figure.series.items()},
-            "notes": figure.notes,
-        },
-        indent=2,
-    )
+    """Render a figure as JSON (name, notes, x axis, series).
+
+    A :class:`~repro.experiments.tables.TableSeries` additionally keeps
+    its (description, parameter, value) rows, so the round-trip restores
+    the table rendering too."""
+    payload: dict[str, object] = {
+        "name": figure.name,
+        "x_label": figure.x_label,
+        "x_values": list(figure.x_values),
+        "series": {k: list(v) for k, v in figure.series.items()},
+        "notes": figure.notes,
+    }
+    rows = getattr(figure, "rows", None)
+    if rows is not None:
+        payload["rows"] = [list(row) for row in rows]
+    return json.dumps(payload, indent=2)
 
 
 def load_figure_json(text: str) -> FigureSeries:
@@ -51,13 +73,88 @@ def load_figure_json(text: str) -> FigureSeries:
     missing = {"name", "x_label", "x_values", "series"} - set(payload)
     if missing:
         raise ParameterError(f"figure export missing fields: {sorted(missing)}")
-    return FigureSeries(
+    fields = dict(
         name=payload["name"],
         x_label=payload["x_label"],
         x_values=[str(x) for x in payload["x_values"]],
         series={k: [float(v) for v in vs] for k, vs in payload["series"].items()},
         notes=payload.get("notes", ""),
     )
+    if "rows" in payload:
+        from repro.experiments.tables import TableSeries
+
+        return TableSeries(
+            **fields, rows=[tuple(row) for row in payload["rows"]]
+        )
+    return FigureSeries(**fields)
+
+
+def result_to_json(result: "ExperimentResult") -> str:
+    """Serialise an experiment result: provenance envelope plus figure."""
+    return json.dumps(
+        {
+            "experiment": result.name,
+            "title": result.title,
+            "provenance": result.provenance(),
+            "figure": json.loads(figure_to_json(result.figure)),
+        },
+        indent=2,
+    )
+
+
+def load_result_json(text: str) -> "ExperimentResult":
+    """Reconstruct an :class:`ExperimentResult` from :func:`result_to_json`."""
+    from repro.experiments.api import ExperimentResult
+
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ParameterError(f"not a valid result export: {exc}") from exc
+    missing = {"experiment", "provenance", "figure"} - set(payload)
+    if missing:
+        raise ParameterError(f"result export missing fields: {sorted(missing)}")
+    provenance = payload["provenance"]
+    if not isinstance(provenance, dict):
+        raise ParameterError(
+            f"result export 'provenance' must be an object, "
+            f"got {type(provenance).__name__}"
+        )
+    return ExperimentResult(
+        name=payload["experiment"],
+        title=payload.get("title", payload["experiment"]),
+        kind=provenance.get("kind", "analytical"),
+        figure=load_figure_json(json.dumps(payload["figure"])),
+        engine=provenance.get("engine"),
+        scenario=dict(provenance.get("scenario", {})),
+        parameters=dict(provenance.get("parameters", {})),
+        seed=provenance.get("seed"),
+        wall_clock_seconds=float(provenance.get("wall_clock_seconds", 0.0)),
+        version=provenance.get("version", ""),
+    )
+
+
+def save_result(
+    result: "ExperimentResult", directory: str | Path, fmt: str = "json"
+) -> Path:
+    """Write ``<directory>/<name>.<fmt>`` (json/csv/txt) and return the path.
+
+    ``json`` keeps the provenance envelope; ``csv`` exports the bare
+    figure series; ``txt`` writes the rendered ASCII form.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.name}.{fmt}"
+    if fmt == "json":
+        path.write_text(result_to_json(result) + "\n", encoding="utf-8")
+    elif fmt == "csv":
+        path.write_text(figure_to_csv(result.figure), encoding="utf-8")
+    elif fmt == "txt":
+        path.write_text(result.render() + "\n", encoding="utf-8")
+    else:
+        raise ParameterError(
+            f"unsupported result format {fmt!r} (use json, csv or txt)"
+        )
+    return path
 
 
 def save_figure(figure: FigureSeries, path: str | Path) -> Path:

@@ -16,7 +16,7 @@ from repro.analysis.sensitivity import sweep_keyttl_error
 from repro.analysis.strategies import evaluate_strategies
 from repro.analysis.sweep import PAPER_FREQUENCIES, sweep_frequencies
 from repro.analysis.zipf import ZipfDistribution
-from repro.errors import ParameterError
+from repro.errors import CapabilityError, ParameterError
 from repro.experiments.reporting import format_period, format_series
 from repro.experiments.scenario import (
     paper_scenario,
@@ -51,7 +51,7 @@ def _run_strategy(
             # layer so no figure can publish the kernel's unvalidated
             # churn costs (run_fastsim remains available for churn
             # *dynamics* studies; a disabled config is a no-op and passes).
-            raise ParameterError(
+            raise CapabilityError(
                 "vectorized figures cannot run under churn: the kernel's "
                 "churn cost model is not yet validated (see ROADMAP open "
                 "items); use engine='event'"
@@ -111,6 +111,23 @@ class FigureSeries:
                 f"available: {sorted(self.series)}"
             )
         return self.series[name]
+
+    # Export conveniences (late imports: repro.experiments.export imports
+    # this module for the FigureSeries type).
+    def to_csv(self) -> str:
+        from repro.experiments.export import figure_to_csv
+
+        return figure_to_csv(self)
+
+    def to_json(self) -> str:
+        from repro.experiments.export import figure_to_json
+
+        return figure_to_json(self)
+
+    def save(self, path) -> "Path":
+        from repro.experiments.export import save_figure
+
+        return save_figure(self, path)
 
 
 def _frequency_labels(frequencies: Sequence[float]) -> list[str]:
@@ -350,7 +367,7 @@ def churn_experiment(
     raises instead of publishing an inverted figure.
     """
     if resolve_engine(engine) == "vectorized":
-        raise ParameterError(
+        raise CapabilityError(
             "churn_experiment needs the event engine: the vectorized "
             "kernel's churn cost model is not yet validated (see ROADMAP "
             "open items)"

@@ -1,82 +1,136 @@
-"""Command-line experiment runner.
+"""Command-line experiment runner, driven by the experiment registry.
 
 Usage::
 
-    python -m repro.experiments.runner table1
-    python -m repro.experiments.runner fig1 fig2 fig3 fig4
-    python -m repro.experiments.runner keyttl
-    python -m repro.experiments.runner sim          # reduced-scale simulation
-    python -m repro.experiments.runner sim --engine vectorized
-    python -m repro.experiments.runner adaptivity
-    python -m repro.experiments.runner all          # everything above
+    python -m repro.experiments.runner --list
+    python -m repro.experiments.runner table1 fig1 fig4
+    python -m repro.experiments.runner sim --engine vectorized --seed 3
+    python -m repro.experiments.runner sweep --engine vectorized \\
+        --format json --output out/
+    python -m repro.experiments.runner all
 
-``sim`` and ``adaptivity`` run discrete-event simulations and take tens of
-seconds; the analytical figures are instant. Passing
-``--engine vectorized`` routes every simulated experiment through the
-:mod:`repro.fastsim` batch kernel instead — orders of magnitude faster and
-the only way to run scaled-up scenarios (see
-:func:`repro.experiments.scenario.fastsim_scenario`).
+Every experiment is an :class:`~repro.experiments.api.ExperimentSpec`;
+``--list`` enumerates the registry with each experiment's engine
+capabilities. ``--engine``/``--seed``/``--scale``/``--duration`` override
+the spec defaults where the spec accepts them; requesting an engine an
+experiment does not support exits non-zero with the gate reason (the old
+runner silently fell back to the event engine). ``--format csv|json``
+switches the output from rendered ASCII to machine-readable series
+(JSON results carry full provenance), and ``--output DIR`` writes one
+file per experiment instead of printing.
+
+The old ``EXPERIMENTS`` dict (name -> callable taking an engine string)
+remains as a deprecated shim over the registry; use
+:func:`repro.experiments.api.run` instead.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
-from typing import Callable
+import warnings
+from typing import Callable, Iterator, Mapping
 
-from repro.experiments import figures, tables
-from repro.experiments.scenario import DEFAULT_ENGINE, ENGINES
+from repro.errors import CapabilityError, ReproError
+from repro.experiments.api import (
+    ANALYTICAL,
+    ExperimentResult,
+    experiment_names,
+    get_spec,
+    iter_specs,
+    run,
+)
+from repro.experiments.scenario import ENGINES
 
 __all__ = ["main", "EXPERIMENTS"]
 
-
-def _run_table1(engine: str) -> str:
-    return tables.render_table1()
+FORMATS = ("text", "csv", "json")
 
 
-def _event_engine_only(name: str, render: Callable[[], str]) -> Callable[[str], str]:
-    """Experiments the vectorized kernel cannot model yet (staleness needs
-    per-hit payload versions; churn cost is dominated by walks through an
-    offline-laden overlay — see ROADMAP open items): run the event engine
-    and say so instead of silently ignoring the flag."""
+# ----------------------------------------------------------------------
+# Deprecated dict shim
+# ----------------------------------------------------------------------
+class _DeprecatedExperiments(Mapping):
+    """The pre-registry ``EXPERIMENTS`` surface, kept for old callers.
 
-    def run(engine: str) -> str:
-        output = render()
-        if engine != "event":
-            output = f"({name} runs on the event engine only)\n" + output
-        return output
+    Values are ``callable(engine: str) -> str`` like before: analytical
+    experiments ignore the engine, and capability-gated experiments run
+    their default engine with the historical one-line note instead of
+    failing (the new API and CLI fail loudly; this shim preserves the old
+    forgiving behaviour for existing scripts).
+    """
 
-    return run
+    _WARNING = (
+        "runner.EXPERIMENTS is deprecated; use repro.experiments.api.run() "
+        "and the experiment registry instead"
+    )
+
+    def __getitem__(self, name: str) -> Callable[[str], str]:
+        warnings.warn(self._WARNING, DeprecationWarning, stacklevel=2)
+        if name not in experiment_names():
+            raise KeyError(name)  # Mapping contract: `in` / .get() rely on it
+        spec = get_spec(name)
+
+        def legacy(engine: str) -> str:
+            if spec.kind == ANALYTICAL:
+                return run(name).render()
+            if spec.supports(engine):
+                return run(name, engine=engine).render()
+            result = run(name, engine=spec.default_engine)
+            return (
+                f"({name} runs on the {spec.default_engine} engine only)\n"
+                + result.render()
+            )
+
+        return legacy
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(experiment_names())
+
+    def __len__(self) -> int:
+        return len(experiment_names())
 
 
-#: Experiment name -> callable taking the simulation engine. Analytical
-#: experiments ignore the engine (there is nothing to simulate).
-EXPERIMENTS: dict[str, Callable[[str], str]] = {
-    "table1": _run_table1,
-    "fig1": lambda engine: figures.figure1().render(),
-    "fig2": lambda engine: figures.figure2().render(),
-    "fig3": lambda engine: figures.figure3().render(),
-    "fig4": lambda engine: figures.figure4().render(),
-    "keyttl": lambda engine: figures.keyttl_sensitivity().render(),
-    "optimal": lambda engine: figures.heuristic_vs_optimal().render(),
-    "sim": lambda engine: figures.simulation_comparison(
-        duration=300.0, engine=engine
-    ).render(),
-    "adaptivity": lambda engine: figures.adaptivity_experiment(
-        duration=1200.0, shift_at=600.0, window=100.0, engine=engine
-    ).render(),
-    "churn": _event_engine_only(
-        "churn", lambda: figures.churn_experiment(duration=240.0).render()
-    ),
-    "staleness": _event_engine_only(
-        "staleness",
-        lambda: figures.staleness_experiment(duration=300.0).render(),
-    ),
-    "simfig1": lambda engine: figures.simulated_figure1(
-        duration=120.0, engine=engine
-    ).render(),
-}
+#: Deprecated: experiment name -> callable taking the simulation engine.
+EXPERIMENTS: Mapping[str, Callable[[str], str]] = _DeprecatedExperiments()
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _listing() -> str:
+    lines = [f"{'name':<12} {'kind':<11} {'engines':<19} title"]
+    for spec in iter_specs():
+        lines.append(
+            f"{spec.name:<12} {spec.kind:<11} "
+            f"{spec.capability_label():<19} {spec.title}"
+        )
+        if spec.gate_reason:
+            lines.append(f"{'':<12} {'':<11} gated: {spec.gate_reason}")
+    lines.append("")
+    lines.append("(* = default engine; 'all' runs every experiment)")
+    return "\n".join(lines)
+
+
+def _emit(result: ExperimentResult, args: argparse.Namespace) -> None:
+    if args.output is not None:
+        fmt = "txt" if args.format == "text" else args.format
+        path = result.save(args.output, fmt=fmt)
+        print(f"wrote {path}")
+        return
+    if args.format == "csv":
+        print(result.to_csv(), end="")
+    elif args.format == "json":
+        print(result.to_json())
+    else:
+        name = result.name
+        engine = result.engine or "analytical"
+        print(
+            f"=== {name} [{engine}] ({result.wall_clock_seconds:.1f}s) "
+            + "=" * max(0, 40 - len(name) - len(engine))
+        )
+        print(result.render())
+        print()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -86,27 +140,99 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiments",
-        nargs="+",
-        choices=[*EXPERIMENTS, "all"],
-        help="which experiments to run ('all' for everything)",
+        nargs="*",
+        metavar="experiment",
+        help="registered experiment names ('all' for everything; "
+        "see --list)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list registered experiments with their engine capabilities",
     )
     parser.add_argument(
         "--engine",
         choices=ENGINES,
-        default=DEFAULT_ENGINE,
-        help="simulation engine for the simulated experiments "
-        "(default: %(default)s)",
+        default=None,
+        help="simulation engine for the simulated experiments (default: "
+        "each experiment's own default; unsupported requests fail)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="simulation seed override"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="scenario scale relative to Table 1 (simulated experiments)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="simulated duration override in rounds",
+    )
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="output format (default: %(default)s; json carries provenance)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="DIR",
+        default=None,
+        help="write one file per experiment into DIR instead of printing",
     )
     args = parser.parse_args(argv)
 
-    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    if args.list:
+        print(_listing())
+        return 0
+    if not args.experiments:
+        parser.error("no experiments given (try --list)")
+
+    unknown = [
+        n
+        for n in args.experiments
+        if n != "all" and n not in experiment_names()
+    ]
+    if unknown:
+        parser.error(
+            f"unknown experiments {unknown}; available: {experiment_names()}"
+        )
+    names = (
+        experiment_names()
+        if "all" in args.experiments
+        else list(args.experiments)
+    )
+
+    flags = {
+        "engine": args.engine,
+        "seed": args.seed,
+        "scale": args.scale,
+        "duration": args.duration,
+    }
     for name in names:
-        started = time.perf_counter()
-        output = EXPERIMENTS[name](args.engine)
-        elapsed = time.perf_counter() - started
-        print(f"=== {name} ({elapsed:.1f}s) " + "=" * max(0, 50 - len(name)))
-        print(output)
-        print()
+        spec = get_spec(name)
+        overrides = {
+            key: value
+            for key, value in flags.items()
+            if value is not None and key in spec.accepts
+        }
+        # An explicit engine request must not be silently dropped for a
+        # simulated experiment: api.run raises CapabilityError with the
+        # gate reason. Analytical experiments have nothing to simulate,
+        # so --engine is irrelevant there (and filtered above).
+        try:
+            result = run(name, **overrides)
+        except CapabilityError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except ReproError as exc:
+            print(f"error: {name}: {exc}", file=sys.stderr)
+            return 1
+        _emit(result, args)
     return 0
 
 

@@ -1,0 +1,176 @@
+"""Paper-scale parameter sweeps on the vectorized fastsim kernel.
+
+The ROADMAP's sweep item: exploit the batch kernel for keyTtl x alpha x
+fQry grids at paper scale (Table 1, 20,000 peers) — the event engine
+needs minutes per cell there, the kernel tens of milliseconds. The grid
+is expressed in the Experiment API (``run("sweep", ...)``) so its results
+render, export and carry provenance like any figure.
+
+Programmatic use::
+
+    from repro.experiments.sweeps import GridAxes, sweep_grid
+
+    fig = sweep_grid(GridAxes(ttl_factors=(0.5, 2.0), alphas=(1.2,),
+                              query_freqs=(1/30, 1/600)))
+    print(fig.render())
+
+Each grid cell runs the selection algorithm through
+:func:`repro.fastsim.run_fastsim` with ``keyTtl`` scaled off the
+analytical ``1/fMin`` for that cell's scenario, and reports the measured
+hit rate and msg/s next to the Eq. 16 model prediction at the same point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
+
+from repro.analysis.parameters import ScenarioParameters
+from repro.analysis.selection_model import SelectionModel
+from repro.errors import ParameterError
+from repro.experiments.api import (
+    SIMULATED,
+    ExperimentContext,
+    experiment,
+)
+from repro.experiments.figures import FigureSeries
+from repro.experiments.reporting import format_period
+from repro.experiments.scenario import paper_scenario
+
+__all__ = ["GridAxes", "GridPoint", "sweep_grid"]
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One cell of the sweep grid."""
+
+    ttl_factor: float
+    alpha: float
+    query_freq: float
+
+    def label(self) -> str:
+        return (
+            f"{self.ttl_factor:g}x|a={self.alpha:g}|"
+            f"{format_period(self.query_freq)}"
+        )
+
+
+@dataclass(frozen=True)
+class GridAxes:
+    """The swept axes: keyTtl scale factors x Zipf alphas x query freqs.
+
+    Defaults cover the paper's interesting ranges: TTLs around the
+    analytical ``1/fMin`` choice, the Zipf exponent above and below the
+    paper's 1.2, and query frequencies spanning Fig. 1's sweep.
+    """
+
+    ttl_factors: tuple[float, ...] = (0.5, 1.0, 2.0)
+    alphas: tuple[float, ...] = (0.8, 1.2)
+    query_freqs: tuple[float, ...] = (1 / 30, 1 / 600, 1 / 7200)
+
+    def __post_init__(self) -> None:
+        for name, values in (
+            ("ttl_factors", self.ttl_factors),
+            ("alphas", self.alphas),
+            ("query_freqs", self.query_freqs),
+        ):
+            if not values:
+                raise ParameterError(f"{name} must be non-empty")
+            if any(v <= 0 for v in values):
+                raise ParameterError(f"{name} must be > 0, got {values}")
+
+    @property
+    def size(self) -> int:
+        return len(self.ttl_factors) * len(self.alphas) * len(self.query_freqs)
+
+    def points(self) -> Iterator[GridPoint]:
+        """Row-major iteration: fQry fastest, then alpha, then keyTtl."""
+        for ttl_factor in self.ttl_factors:
+            for alpha in self.alphas:
+                for query_freq in self.query_freqs:
+                    yield GridPoint(ttl_factor, alpha, query_freq)
+
+
+def sweep_grid(
+    axes: Optional[GridAxes] = None,
+    scenario: Optional[ScenarioParameters] = None,
+    duration: float = 240.0,
+    seed: int = 0,
+) -> FigureSeries:
+    """Run the selection algorithm over the full grid on the fast kernel.
+
+    Every cell re-derives the scenario (alpha, fQry) and the analytical
+    keyTtl, scales the TTL by the cell's factor, and measures hit rate
+    and total msg/s with :func:`repro.fastsim.run_fastsim`. The Eq. 16
+    model prediction at the same TTL rides along for cross-checking.
+    """
+    from repro.fastsim import run_fastsim
+    from repro.pdht.config import PdhtConfig
+
+    axes = axes or GridAxes()
+    scenario = scenario or paper_scenario()
+    if duration <= 0:
+        raise ParameterError(f"duration must be > 0, got {duration}")
+
+    labels: list[str] = []
+    hit_rates: list[float] = []
+    measured: list[float] = []
+    model: list[float] = []
+    ttls: list[float] = []
+    for point in axes.points():
+        cell = replace(scenario, alpha=point.alpha).with_query_freq(
+            point.query_freq
+        )
+        config = PdhtConfig.from_scenario(cell)
+        config = config.with_ttl(config.key_ttl * point.ttl_factor)
+        report = run_fastsim(
+            cell,
+            config=config,
+            duration=duration,
+            strategy="partialSelection",
+            seed=seed,
+        )
+        labels.append(point.label())
+        hit_rates.append(report.hit_rate)
+        measured.append(report.messages_per_second)
+        model.append(SelectionModel(cell, key_ttl=config.key_ttl).total_cost())
+        ttls.append(config.key_ttl)
+    return FigureSeries(
+        name=(
+            f"Sweep - keyTtl x alpha x fQry grid "
+            f"({scenario.num_peers} peers, {scenario.n_keys} keys, "
+            f"{axes.size} cells, vectorized)"
+        ),
+        x_label="keyTtl|alpha|fQry",
+        x_values=labels,
+        series={
+            "hit rate": hit_rates,
+            "msg/s": measured,
+            "model msg/s": model,
+            "keyTtl [s]": ttls,
+        },
+        notes=(
+            "keyTtl factor scales the analytical 1/fMin per cell; "
+            "model msg/s is Eq. 16 at the same TTL"
+        ),
+    )
+
+
+@experiment(
+    "sweep",
+    "Sweep - keyTtl x alpha x fQry grid at paper scale (fastsim)",
+    SIMULATED,
+    engines=("vectorized",),
+    gate_reason=(
+        "the grid runs Table 1 at full scale (and beyond, via --scale); "
+        "only the vectorized batch kernel is tractable there"
+    ),
+    accepts={"engine", "duration", "seed", "scale"},
+    duration=240.0,
+    seed=0,
+    scale=1.0,
+)
+def _sweep(ctx: ExperimentContext) -> FigureSeries:
+    return sweep_grid(
+        scenario=ctx.scenario, duration=ctx.duration, seed=ctx.seed
+    )

@@ -1,11 +1,20 @@
-"""Table 1: parameters of the sample scenario."""
+"""Table 1: parameters of the sample scenario.
+
+:func:`table1_series` returns the table as a :class:`TableSeries` — a
+:class:`~repro.experiments.figures.FigureSeries` subclass that renders as
+a three-column ASCII table but exports (CSV/JSON) like any figure, so the
+experiment API can treat tables and figures uniformly.
+"""
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from repro.analysis.parameters import ScenarioParameters
+from repro.experiments.figures import FigureSeries
 from repro.experiments.reporting import format_table
 
-__all__ = ["table1_rows", "render_table1"]
+__all__ = ["TableSeries", "table1_rows", "table1_series", "render_table1"]
 
 _DESCRIPTIONS = {
     "numPeers": "Total number of peers",
@@ -21,6 +30,27 @@ _DESCRIPTIONS = {
 }
 
 
+@dataclass
+class TableSeries(FigureSeries):
+    """A paper table in figure clothing.
+
+    ``x_values`` are the parameter names and the single ``value`` series
+    holds the numeric values (losslessly exportable); ``rows`` keeps the
+    original (description, parameter, value) triples so :meth:`render`
+    reproduces the paper's table layout.
+    """
+
+    rows: list[tuple[str, str, object]] = field(default_factory=list)
+
+    def render(self) -> str:
+        text = format_table(
+            ["Description", "Param.", "Value"], self.rows, title=self.name
+        )
+        if self.notes:
+            text += f"\n({self.notes})"
+        return text
+
+
 def table1_rows(params: ScenarioParameters | None = None) -> list[tuple[str, str, object]]:
     """The (description, parameter, value) rows of Table 1."""
     params = params or ScenarioParameters.paper_scenario()
@@ -30,10 +60,17 @@ def table1_rows(params: ScenarioParameters | None = None) -> list[tuple[str, str
     return rows
 
 
-def render_table1(params: ScenarioParameters | None = None) -> str:
+def table1_series(params: ScenarioParameters | None = None) -> TableSeries:
+    """Table 1 as a structured, exportable series."""
     rows = table1_rows(params)
-    return format_table(
-        ["Description", "Param.", "Value"],
-        rows,
-        title="Table 1. Parameters of the sample scenario.",
+    return TableSeries(
+        name="Table 1. Parameters of the sample scenario.",
+        x_label="param",
+        x_values=[name for _, name, _ in rows],
+        series={"value": [float(value) for _, _, value in rows]},
+        rows=rows,
     )
+
+
+def render_table1(params: ScenarioParameters | None = None) -> str:
+    return table1_series(params).render()

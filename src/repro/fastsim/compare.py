@@ -224,6 +224,30 @@ class EngineAgreement:
             f"speedup {self.speedup:.1f}x"
         )
 
+    def to_figure(self):
+        """The agreement as a :class:`~repro.experiments.figures.FigureSeries`
+        (per-seed hit rates and costs for both engines), so cross-engine
+        checks render and export through the same helpers as every other
+        experiment payload."""
+        from repro.experiments.figures import FigureSeries
+
+        return FigureSeries(
+            name=(
+                f"Engine agreement - event vs vectorized "
+                f"({self.params.num_peers} peers, "
+                f"{self.duration:.0f} rounds)"
+            ),
+            x_label="seed",
+            x_values=[str(seed) for seed in self.seeds],
+            series={
+                "event hit rate": list(self.event_hit_rates),
+                "fast hit rate": list(self.fast_hit_rates),
+                "event total msgs": list(self.event_costs),
+                "fast total msgs": list(self.fast_costs),
+            },
+            notes=self.summary(),
+        )
+
 
 def compare_engines(
     params: ScenarioParameters,

@@ -1,0 +1,375 @@
+"""Tests for the first-class Experiment API (specs, registry, results,
+capability gating, the rebuilt CLI, and the deprecated dict shim)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import CapabilityError, ParameterError
+from repro.experiments.api import (
+    ANALYTICAL,
+    SIMULATED,
+    ExperimentParams,
+    ExperimentSpec,
+    REGISTRY,
+    experiment_names,
+    get_spec,
+    register,
+    run,
+)
+
+
+class TestSpecsAndRegistry:
+    def test_every_spec_is_well_formed(self):
+        for name in experiment_names():
+            spec = get_spec(name)
+            assert spec.name == name
+            assert spec.title
+            assert spec.kind in (ANALYTICAL, SIMULATED)
+            if spec.kind == ANALYTICAL:
+                assert spec.engines == ()
+                assert spec.capability_label() == "-"
+            else:
+                assert spec.engines
+                assert "engine" in spec.accepts
+                assert spec.default_engine == spec.engines[0]
+
+    def test_gated_specs_carry_reasons(self):
+        for name, engines in (
+            ("churn", ("event",)),
+            ("staleness", ("event",)),
+            ("sweep", ("vectorized",)),
+        ):
+            spec = get_spec(name)
+            assert spec.engines == engines
+            assert spec.gate_reason
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ParameterError, match="unknown experiment"):
+            get_spec("fig99")
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_spec("fig1")
+        with pytest.raises(ParameterError, match="already registered"):
+            register(spec)
+
+    def test_registry_view_is_read_only_mapping(self):
+        assert set(REGISTRY) == set(experiment_names())
+        assert REGISTRY["sweep"].kind == SIMULATED
+        with pytest.raises(TypeError):
+            REGISTRY["x"] = None  # type: ignore[index]
+
+    def test_spec_validation(self):
+        with pytest.raises(ParameterError, match="kind"):
+            ExperimentSpec("x", "t", "magic", builder=lambda ctx: None)
+        with pytest.raises(ParameterError, match="engine capabilities"):
+            ExperimentSpec(
+                "x", "t", ANALYTICAL, builder=lambda ctx: None,
+                engines=("event",),
+            )
+        with pytest.raises(ParameterError, match="at least one engine"):
+            ExperimentSpec("x", "t", SIMULATED, builder=lambda ctx: None)
+        with pytest.raises(ParameterError, match="unknown engines"):
+            ExperimentSpec(
+                "x", "t", SIMULATED, builder=lambda ctx: None,
+                engines=("warp-drive",),
+            )
+        with pytest.raises(ParameterError, match="unknown parameters"):
+            ExperimentSpec(
+                "x", "t", ANALYTICAL, builder=lambda ctx: None,
+                accepts=frozenset({"frobnication"}),
+            )
+
+    def test_params_validation(self):
+        with pytest.raises(ParameterError):
+            ExperimentParams(duration=-1.0)
+        with pytest.raises(ParameterError):
+            ExperimentParams(scale=0.0)
+        with pytest.raises(ParameterError):
+            ExperimentParams(seed=1.5)  # type: ignore[arg-type]
+
+
+class TestCapabilityGating:
+    def test_gated_experiment_rejects_unsupported_engine(self):
+        with pytest.raises(CapabilityError, match="churn cost model"):
+            run("churn", engine="vectorized", duration=10.0)
+        with pytest.raises(CapabilityError, match="payload versions"):
+            run("staleness", engine="vectorized", duration=10.0)
+
+    def test_sweep_rejects_event_engine(self):
+        with pytest.raises(CapabilityError, match="vectorized"):
+            run("sweep", engine="event", duration=10.0)
+
+    def test_capability_error_is_a_parameter_error(self):
+        # Old callers catching ParameterError keep working.
+        assert issubclass(CapabilityError, ParameterError)
+
+    def test_unknown_engine_name_rejected(self):
+        with pytest.raises(ParameterError, match="unknown engine"):
+            run("sim", engine="warp-drive", duration=10.0)
+
+
+class TestRun:
+    def test_unaccepted_override_rejected(self):
+        with pytest.raises(ParameterError, match="does not take"):
+            run("fig1", duration=10.0)
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ParameterError, match="unknown experiment param"):
+            run("sim", frobnicate=1)
+
+    def test_analytical_result_provenance(self):
+        import repro
+
+        result = run("fig1")
+        assert result.kind == ANALYTICAL
+        assert result.engine is None
+        assert result.scenario["num_peers"] == 20_000
+        assert result.version == repro.__version__
+        assert result.wall_clock_seconds >= 0.0
+        assert set(result.figure.series) == {"indexAll", "noIndex", "partial"}
+        provenance = result.provenance()
+        assert provenance["experiment"] == "fig1"
+        assert provenance["engine"] is None
+
+    def test_simulated_result_provenance_and_overrides(self):
+        result = run(
+            "sim", engine="vectorized", duration=30.0, seed=3, scale=0.02
+        )
+        assert result.engine == "vectorized"
+        assert result.seed == 3
+        assert result.parameters["duration"] == 30.0
+        assert result.parameters["scale"] == 0.02
+        assert "engine" not in result.parameters  # has its own field
+        assert result.scenario["num_peers"] == 400  # Table 1 x 0.02
+        assert result.figure.series_of("hit rate")
+
+    def test_default_engine_is_specs_first_capability(self):
+        result = run("sweep", duration=10.0, scale=0.02)
+        assert result.engine == "vectorized"
+
+    def test_adaptivity_derives_shift_and_window_from_duration(self):
+        result = run(
+            "adaptivity",
+            engine="vectorized",
+            duration=400.0,
+            scale=0.02,
+            window=50.0,
+        )
+        # shift_at defaults to duration/2: the title marks t=200.
+        assert "t=200" in result.figure.name
+        rates = dict(
+            zip(result.figure.x_values, result.figure.series_of("hit rate"))
+        )
+        assert rates["250"] < rates["200"]  # collapse right after the shift
+
+    def test_table1_runs_through_the_api(self):
+        result = run("table1")
+        assert "Table 1" in result.render()
+        assert result.figure.x_values[0] == "numPeers"
+        assert result.figure.series_of("value")[0] == 20_000.0
+
+
+class TestSweepGrid:
+    def test_grid_axes_validation(self):
+        from repro.experiments.sweeps import GridAxes
+
+        with pytest.raises(ParameterError, match="non-empty"):
+            GridAxes(ttl_factors=())
+        with pytest.raises(ParameterError, match="> 0"):
+            GridAxes(alphas=(1.2, -0.5))
+        axes = GridAxes()
+        assert axes.size == 18
+        assert len(list(axes.points())) == 18
+
+    def test_small_grid_shapes(self):
+        from repro.experiments.scenario import simulation_scenario
+        from repro.experiments.sweeps import GridAxes, sweep_grid
+
+        axes = GridAxes(
+            ttl_factors=(0.5, 2.0), alphas=(1.2,), query_freqs=(1 / 30,)
+        )
+        fig = sweep_grid(
+            axes, scenario=simulation_scenario(scale=0.02), duration=30.0
+        )
+        assert len(fig.x_values) == 2
+        assert set(fig.series) == {
+            "hit rate", "msg/s", "model msg/s", "keyTtl [s]",
+        }
+        for rate in fig.series_of("hit rate"):
+            assert 0.0 <= rate <= 1.0
+        ttls = fig.series_of("keyTtl [s]")
+        assert ttls[1] == pytest.approx(4.0 * ttls[0])  # 2.0x vs 0.5x
+
+    def test_sweep_experiment_scales_with_scale_override(self):
+        result = run("sweep", duration=10.0, scale=0.02)
+        assert result.scenario["num_peers"] == 400
+        assert len(result.figure.x_values) == 18
+
+
+class TestCli:
+    def _main(self, argv):
+        from repro.experiments.runner import main
+
+        return main(argv)
+
+    def test_list_enumerates_registry_with_capabilities(self, capsys):
+        assert self._main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in experiment_names():
+            assert name in out
+        assert "event*,vectorized" in out
+        assert "vectorized*" in out
+        assert "gated:" in out
+
+    def test_no_experiments_errors(self):
+        with pytest.raises(SystemExit):
+            self._main([])
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            self._main(["fig99"])
+        # A typo is rejected even when 'all' rides along (the old
+        # choices= behaviour), not silently discarded.
+        with pytest.raises(SystemExit):
+            self._main(["all", "fig99"])
+
+    def test_gated_engine_request_exits_nonzero_with_reason(self, capsys):
+        assert self._main(["churn", "--engine", "vectorized"]) == 2
+        err = capsys.readouterr().err
+        assert "churn cost model" in err
+        assert self._main(["sweep", "--engine", "event"]) == 2
+        err = capsys.readouterr().err
+        assert "vectorized" in err
+
+    def test_engine_flag_ignored_for_analytical(self, capsys):
+        assert self._main(["table1", "--engine", "vectorized"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_csv_format(self, capsys):
+        assert self._main(["fig1", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "queryFreq,indexAll,noIndex,partial"
+
+    def test_json_format_carries_provenance(self, capsys):
+        assert self._main(["fig1", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "fig1"
+        assert payload["provenance"]["scenario"]["num_peers"] == 20_000
+
+    def test_output_dir_writes_files(self, capsys, tmp_path):
+        assert (
+            self._main(
+                [
+                    "fig1",
+                    "fig2",
+                    "--format",
+                    "json",
+                    "--output",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        for name in ("fig1", "fig2"):
+            path = tmp_path / f"{name}.json"
+            assert path.exists()
+            assert json.loads(path.read_text())["experiment"] == name
+        assert "wrote" in capsys.readouterr().out
+
+    def test_sweep_json_output_acceptance(self, capsys, tmp_path):
+        # The ISSUE acceptance command (scaled down for test speed):
+        # runner sweep --engine vectorized --format json --output out/
+        assert (
+            self._main(
+                [
+                    "sweep",
+                    "--engine",
+                    "vectorized",
+                    "--scale",
+                    "0.02",
+                    "--duration",
+                    "20",
+                    "--format",
+                    "json",
+                    "--output",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads((tmp_path / "sweep.json").read_text())
+        assert payload["provenance"]["engine"] == "vectorized"
+        assert payload["provenance"]["version"]
+        assert len(payload["figure"]["x_values"]) == 18
+
+    def test_simulated_flags_flow_through(self, capsys):
+        assert (
+            self._main(
+                [
+                    "sim",
+                    "--engine",
+                    "vectorized",
+                    "--duration",
+                    "30",
+                    "--scale",
+                    "0.02",
+                    "--seed",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sim [vectorized]" in out
+        assert "400 peers" in out
+
+
+class TestDeprecatedShim:
+    def test_access_warns(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            EXPERIMENTS["table1"]
+
+    def test_keys_cover_legacy_names(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert {"optimal", "churn", "staleness", "sim", "simfig1"} <= set(
+            EXPERIMENTS
+        )
+        assert len(EXPERIMENTS) == len(experiment_names())
+
+    def test_analytical_callable_ignores_engine(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        with pytest.warns(DeprecationWarning):
+            render = EXPERIMENTS["table1"]
+        assert "Table 1" in render("vectorized")
+
+    def test_mapping_contract_for_unknown_names(self):
+        # Old dict semantics: membership tests and .get() must not blow
+        # up on unknown names (Mapping catches KeyError, not ValueError).
+        import warnings
+
+        from repro.experiments.runner import EXPERIMENTS
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert "bogus" not in EXPERIMENTS
+            assert EXPERIMENTS.get("bogus") is None
+            with pytest.raises(KeyError):
+                EXPERIMENTS["bogus"]
+
+    def test_gated_callable_falls_back_with_note(self):
+        # Old behaviour: run the supported engine and prepend a one-line
+        # note rather than failing (the new CLI fails loudly instead).
+        from repro.experiments.runner import EXPERIMENTS
+
+        with pytest.warns(DeprecationWarning):
+            render = EXPERIMENTS["sweep"]
+        output = render("event")
+        assert output.startswith("(sweep runs on the vectorized engine only)")
+        assert "Sweep" in output

@@ -23,6 +23,8 @@ PACKAGES = [
     "repro.pdht",
     "repro.fastsim",
     "repro.experiments",
+    "repro.experiments.api",
+    "repro.experiments.sweeps",
 ]
 
 
@@ -58,6 +60,54 @@ def test_version_is_set():
     import repro
 
     assert repro.__version__
+
+
+def test_experiment_api_exports():
+    # The Experiment API surface the README quick-start uses.
+    import repro
+    from repro.experiments import api
+
+    for name in (
+        "ExperimentSpec",
+        "ExperimentParams",
+        "ExperimentResult",
+        "experiment",
+        "run",
+        "get_spec",
+        "experiment_names",
+        "REGISTRY",
+    ):
+        assert name in api.__all__
+        assert getattr(api, name) is not None
+    for name in ("run_experiment", "ExperimentResult", "ExperimentSpec"):
+        assert name in repro.__all__
+        assert getattr(repro, name) is not None
+
+
+def test_registry_covers_legacy_experiments_dict():
+    # Every experiment the old string-keyed dict exposed must be a
+    # registered spec (the shim iterates the registry, so this also pins
+    # the EXPERIMENTS surface).
+    from repro.experiments.api import REGISTRY, experiment_names
+
+    legacy = {
+        "table1",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "keyttl",
+        "optimal",
+        "sim",
+        "adaptivity",
+        "churn",
+        "staleness",
+        "simfig1",
+    }
+    names = set(experiment_names())
+    assert legacy <= names
+    assert "sweep" in names
+    assert names == set(REGISTRY)
 
 
 def test_error_hierarchy_rooted():
