@@ -3,11 +3,20 @@
 Runs the partial-selection scenario at 1k / 10k / 100k peers. Both engines
 run (with calibrated per-op costs) where the event engine is tractable;
 at 100k peers only the vectorized kernel runs — that scale is the point of
-having it. Emits a JSON speedup record (printed, and written to
-``benchmarks/bench_fastsim.json``) alongside the human-readable table.
+having it. Two more scenario families exercise the lifted engine gates:
+churn (availabilities 0.9 and 0.5, availability-dependent per-op costs)
+and staleness (per-key payload versions). Emits a JSON record (printed,
+and written to ``benchmarks/bench_fastsim.json``) alongside the
+human-readable table.
 
-Acceptance gate: the kernel must be >= 10x faster than the event engine at
-the 10k-peer scenario while agreeing within 5% on hit rate and total cost.
+Acceptance gates — the run FAILS (non-zero exit standalone, assertion
+under pytest) when any drifts:
+
+* >= 10x speedup at the 10k-peer scenario, hit rate and total cost
+  within 5%;
+* churn: hit rate and total cost within 5% of the event engine at
+  availabilities 0.9 and 0.5;
+* staleness: stale hit fraction and hit rate within 5%.
 
 Standalone::
 
@@ -17,11 +26,19 @@ Standalone::
 from __future__ import annotations
 
 import json
+import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 
 from repro.experiments.scenario import paper_scenario
-from repro.fastsim import calibrate_costs, compare_engines, run_fastsim
+from repro.fastsim import (
+    calibrate_costs,
+    compare_engines,
+    compare_engines_churn,
+    compare_engines_staleness,
+    run_fastsim,
+)
 from repro.pdht.config import PdhtConfig
 
 #: Rounds simulated per configuration (kept short: the event engine pays
@@ -76,6 +93,73 @@ def _vectorized_only_at(num_peers: int) -> dict[str, object]:
     }
 
 
+#: Cross-engine agreement tolerance the scheduled job enforces.
+TOLERANCE = 0.05
+
+
+def _churn_record(availability: float) -> dict[str, object]:
+    """Churn agreement at 400 peers (walk TTL bounded so the event
+    engine's exhausted walks stay affordable inside the job budget)."""
+    params = _scenario(400)
+    config = replace(PdhtConfig.from_scenario(params), walk_ttl=96)
+    agreement = compare_engines_churn(
+        params, availability, config=config, duration=300.0, seeds=(0, 1, 2)
+    )
+    return {
+        "scenario": "churn",
+        "availability": availability,
+        "num_peers": params.num_peers,
+        "duration_rounds": 300.0,
+        "hit_rate_rel_diff": agreement.hit_rate_rel_diff,
+        "cost_rel_diff": agreement.cost_rel_diff,
+        "summary": agreement.summary(),
+    }
+
+
+def _staleness_record() -> dict[str, object]:
+    params = _scenario(400)
+    agreement = compare_engines_staleness(
+        params, duration=240.0, refresh_period=80.0, seeds=(0, 1)
+    )
+    return {
+        "scenario": "staleness",
+        "num_peers": params.num_peers,
+        "duration_rounds": 240.0,
+        "hit_rate_rel_diff": agreement.hit_rate_rel_diff,
+        "staleness_rel_diff": agreement.staleness_rel_diff,
+        "summary": agreement.summary(),
+    }
+
+
+def enforce(payload: dict[str, object]) -> list[str]:
+    """All acceptance gates; returns the list of violations (empty = ok)."""
+    violations: list[str] = []
+    records = payload["records"]
+    at_10k = records[1]
+    if at_10k["speedup"] < 10.0:
+        violations.append(f"speedup at 10k peers below 10x: {at_10k['speedup']:.1f}x")
+    if at_10k["hit_rate_rel_diff"] > TOLERANCE:
+        violations.append(
+            f"10k-peer hit rate drift {100 * at_10k['hit_rate_rel_diff']:.2f}%"
+        )
+    if at_10k["cost_rel_diff"] > TOLERANCE:
+        violations.append(
+            f"10k-peer cost drift {100 * at_10k['cost_rel_diff']:.2f}%"
+        )
+    if records[2]["vectorized_seconds"] >= 60.0:
+        violations.append("100k-peer vectorized run exceeded 60s")
+    for record in payload["gate_records"]:
+        for metric in ("hit_rate_rel_diff", "cost_rel_diff", "staleness_rel_diff"):
+            drift = record.get(metric)
+            if drift is not None and drift > TOLERANCE:
+                violations.append(
+                    f"{record['scenario']} {metric} drifted to "
+                    f"{100 * drift:.2f}% (> {100 * TOLERANCE:.0f}%): "
+                    f"{record['summary']}"
+                )
+    return violations
+
+
 def _render(records: list[dict[str, object]]) -> str:
     lines = ["peers    event [s]  vectorized [s]  speedup   hit-rate diff"]
     for r in records:
@@ -100,10 +184,16 @@ def run_benchmark() -> dict[str, object]:
         _compare_at(10_000, walk_probes=128),
         _vectorized_only_at(100_000),
     ]
+    gate_records = [
+        _churn_record(0.9),
+        _churn_record(0.5),
+        _staleness_record(),
+    ]
     payload = {
         "benchmark": "fastsim_speedup",
         "duration_rounds": DURATION,
         "records": records,
+        "gate_records": gate_records,
     }
     JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
@@ -119,18 +209,20 @@ def test_fastsim_speedup(once):
         _render(records) + "\n\nJSON record: " + str(JSON_PATH),
     )
     print(json.dumps(payload, indent=2))
-    at_10k = records[1]
-    assert at_10k["num_peers"] == 10_000
-    # The acceptance gate: >= 10x at 10k peers, with both aggregates
-    # agreeing within 5%.
-    assert at_10k["speedup"] >= 10.0
-    assert at_10k["hit_rate_rel_diff"] <= 0.05
-    assert at_10k["cost_rel_diff"] <= 0.05
-    # 100k peers is vectorized-only and must still be fast.
-    assert records[2]["vectorized_seconds"] < 60.0
+    assert records[1]["num_peers"] == 10_000
+    # Every acceptance gate (speedup, no-churn agreement, churn and
+    # staleness agreement) enforced, not just recorded.
+    assert enforce(payload) == []
 
 
 if __name__ == "__main__":
     payload = run_benchmark()
     print(_render(payload["records"]))
+    for record in payload["gate_records"]:
+        print(f"{record['scenario']}: {record['summary']}")
     print(json.dumps(payload, indent=2))
+    violations = enforce(payload)
+    if violations:
+        for violation in violations:
+            print(f"DRIFT: {violation}", file=sys.stderr)
+        sys.exit(1)

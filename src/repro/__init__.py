@@ -21,9 +21,6 @@ engine capabilities)::
     python -m repro.experiments.runner sim --engine vectorized
     python -m repro.experiments.runner sweep --format json --output out/
 
-(The old ``runner.EXPERIMENTS`` dict still works but is deprecated in
-favour of the registry behind :func:`run_experiment`.)
-
 Driving the system directly::
 
     from repro import ScenarioParameters, sweep_frequencies
@@ -92,7 +89,7 @@ from repro.fastsim import (
 )
 from repro.errors import ReproError
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.experiments.api import (  # noqa: E402
     ExperimentResult,

@@ -22,8 +22,7 @@ From the command line::
 
 The underlying data generators remain importable directly
 (:mod:`~repro.experiments.figures`, :mod:`~repro.experiments.tables`,
-:mod:`~repro.experiments.sweeps`). The old ``runner.EXPERIMENTS`` dict is
-deprecated — it now shims onto the registry.
+:mod:`~repro.experiments.sweeps`).
 """
 
 from repro.experiments.scenario import (

@@ -89,6 +89,9 @@ class ExperimentParams:
     scale: Optional[float] = None
     shift_at: Optional[float] = None
     window: Optional[float] = None
+    #: Run the experiment over this many consecutive seeds and aggregate
+    #: the series with confidence intervals (repro.experiments.stats).
+    replicates: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.duration is not None and self.duration <= 0:
@@ -101,6 +104,13 @@ class ExperimentParams:
             raise ParameterError(f"shift_at must be > 0, got {self.shift_at}")
         if self.window is not None and self.window < 0:
             raise ParameterError(f"window must be >= 0, got {self.window}")
+        if self.replicates is not None and (
+            not isinstance(self.replicates, int) or self.replicates < 1
+        ):
+            raise ParameterError(
+                f"replicates must be a positive integer, "
+                f"got {self.replicates!r}"
+            )
 
     def to_dict(self) -> dict[str, object]:
         """Only the fields that are set (for provenance records)."""
@@ -351,6 +361,11 @@ class ExperimentResult:
     seed: Optional[int]
     wall_clock_seconds: float
     version: str
+    #: Multi-seed detail when run with ``replicates=N``: the seeds, the
+    #: confidence level, and every series' per-seed values. The figure
+    #: then carries the seed-mean series plus one "<name> ci95" series of
+    #: half-widths (:func:`repro.experiments.stats.summarise`).
+    replication: Optional[dict[str, object]] = None
 
     def render(self) -> str:
         return self.figure.render()
@@ -424,7 +439,20 @@ def run(name: str, **overrides: object) -> ExperimentResult:
         params=replace(merged, engine=engine),
     )
     started = time.perf_counter()
-    figure = spec.builder(ctx)
+    replication: Optional[dict[str, object]] = None
+    replicates = merged.replicates or 1
+    if replicates > 1:
+        base_seed = merged.seed if merged.seed is not None else 0
+        seeds = tuple(base_seed + i for i in range(replicates))
+        figures_by_seed = [
+            spec.builder(
+                replace(ctx, params=replace(ctx.params, seed=run_seed))
+            )
+            for run_seed in seeds
+        ]
+        figure, replication = _aggregate_replicates(figures_by_seed, seeds)
+    else:
+        figure = spec.builder(ctx)
     wall_clock = time.perf_counter() - started
 
     import repro  # late: repro/__init__ imports this module at its end
@@ -444,7 +472,74 @@ def run(name: str, **overrides: object) -> ExperimentResult:
         seed=merged.seed,
         wall_clock_seconds=wall_clock,
         version=repro.__version__,
+        replication=replication,
     )
+
+
+#: Confidence level of the ``replicates=N`` aggregation.
+REPLICATE_CONFIDENCE = 0.95
+
+
+def _aggregate_replicates(
+    figures: list[FigureSeries], seeds: tuple[int, ...]
+) -> tuple[FigureSeries, dict[str, object]]:
+    """Aggregate one figure per seed into mean series + CI half-widths.
+
+    Every seed must produce the same x axis and series names (it ran the
+    same experiment); the aggregate figure carries, per input series, the
+    seed-mean values plus a ``"<name> ci95"`` series of Student-t
+    confidence half-widths. The replication payload keeps the raw
+    per-seed values for downstream analysis and export.
+    """
+    from repro.experiments.stats import summarise
+
+    first = figures[0]
+    for other in figures[1:]:
+        if other.x_values != first.x_values:
+            raise ParameterError(
+                "replicated runs disagree on the x axis — the experiment "
+                "changed shape between seeds"
+            )
+        if set(other.series) != set(first.series):
+            raise ParameterError(
+                "replicated runs disagree on series names — the "
+                "experiment changed shape between seeds"
+            )
+    series: dict[str, list[float]] = {}
+    per_seed: dict[str, list[list[float]]] = {}
+    ci_label = f"ci{int(round(REPLICATE_CONFIDENCE * 100))}"
+    for name in first.series:
+        samples_by_seed = [fig.series_of(name) for fig in figures]
+        per_seed[name] = [list(values) for values in samples_by_seed]
+        means: list[float] = []
+        halfwidths: list[float] = []
+        for i in range(len(first.x_values)):
+            summary = summarise(
+                name,
+                [values[i] for values in samples_by_seed],
+                confidence=REPLICATE_CONFIDENCE,
+            )
+            means.append(summary.mean)
+            halfwidths.append(summary.ci_halfwidth)
+        series[name] = means
+        series[f"{name} {ci_label}"] = halfwidths
+    figure = FigureSeries(
+        name=f"{first.name} [mean of {len(seeds)} seeds]",
+        x_label=first.x_label,
+        x_values=list(first.x_values),
+        series=series,
+        notes=(
+            (first.notes + "; " if first.notes else "")
+            + f"{ci_label} = Student-t half-width over seeds "
+            f"{seeds[0]}..{seeds[-1]}"
+        ),
+    )
+    replication = {
+        "seeds": list(seeds),
+        "confidence": REPLICATE_CONFIDENCE,
+        "per_seed": per_seed,
+    }
+    return figure, replication
 
 
 # ----------------------------------------------------------------------
@@ -502,7 +597,7 @@ def _optimal(ctx: ExperimentContext) -> FigureSeries:
     "Sec. 5.2 - simulated strategies vs the analytical model",
     SIMULATED,
     engines=("event", "vectorized"),
-    accepts={"engine", "duration", "seed", "scale"},
+    accepts={"engine", "duration", "seed", "scale", "replicates"},
     duration=300.0,
     seed=0,
     scale=SIMULATION_SCALE,
@@ -521,7 +616,8 @@ def _sim(ctx: ExperimentContext) -> FigureSeries:
     "Sec. 5.2 - hit rate under a query-distribution shift",
     SIMULATED,
     engines=("event", "vectorized"),
-    accepts={"engine", "duration", "seed", "scale", "shift_at", "window"},
+    accepts={"engine", "duration", "seed", "scale", "shift_at",
+             "window", "replicates"},
     duration=1200.0,
     seed=0,
     scale=SIMULATION_SCALE,
@@ -541,13 +637,8 @@ def _adaptivity(ctx: ExperimentContext) -> FigureSeries:
     "churn",
     "Extension - selection algorithm under churn",
     SIMULATED,
-    engines=("event",),
-    gate_reason=(
-        "the vectorized kernel's churn cost model underestimates "
-        "broadcast-walk costs through an offline-laden overlay (see "
-        "ROADMAP 'churn fidelity')"
-    ),
-    accepts={"engine", "duration", "seed", "scale"},
+    engines=("event", "vectorized"),
+    accepts={"engine", "duration", "seed", "scale", "replicates"},
     duration=240.0,
     seed=0,
     scale=SIMULATION_SCALE,
@@ -565,12 +656,8 @@ def _churn(ctx: ExperimentContext) -> FigureSeries:
     "staleness",
     "Extension - index staleness without proactive updates",
     SIMULATED,
-    engines=("event",),
-    gate_reason=(
-        "staleness needs per-hit payload versions, which the vectorized "
-        "kernel does not track yet (see ROADMAP open items)"
-    ),
-    accepts={"engine", "duration", "seed", "scale"},
+    engines=("event", "vectorized"),
+    accepts={"engine", "duration", "seed", "scale", "replicates"},
     duration=300.0,
     seed=0,
     scale=0.02,
@@ -580,6 +667,7 @@ def _staleness(ctx: ExperimentContext) -> FigureSeries:
         params=ctx.scenario,
         duration=ctx.duration,
         seed=ctx.seed,
+        engine=ctx.engine,
     )
 
 
@@ -588,7 +676,7 @@ def _staleness(ctx: ExperimentContext) -> FigureSeries:
     "Fig. 1 regenerated in simulation",
     SIMULATED,
     engines=("event", "vectorized"),
-    accepts={"engine", "duration", "seed", "scale"},
+    accepts={"engine", "duration", "seed", "scale", "replicates"},
     duration=120.0,
     seed=0,
     scale=0.02,

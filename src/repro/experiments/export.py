@@ -90,16 +90,19 @@ def load_figure_json(text: str) -> FigureSeries:
 
 
 def result_to_json(result: "ExperimentResult") -> str:
-    """Serialise an experiment result: provenance envelope plus figure."""
-    return json.dumps(
-        {
-            "experiment": result.name,
-            "title": result.title,
-            "provenance": result.provenance(),
-            "figure": json.loads(figure_to_json(result.figure)),
-        },
-        indent=2,
-    )
+    """Serialise an experiment result: provenance envelope plus figure.
+
+    A ``replicates=N`` result additionally keeps its replication payload
+    (seeds, confidence, per-seed series values)."""
+    payload: dict[str, object] = {
+        "experiment": result.name,
+        "title": result.title,
+        "provenance": result.provenance(),
+        "figure": json.loads(figure_to_json(result.figure)),
+    }
+    if result.replication is not None:
+        payload["replication"] = result.replication
+    return json.dumps(payload, indent=2)
 
 
 def load_result_json(text: str) -> "ExperimentResult":
@@ -130,6 +133,7 @@ def load_result_json(text: str) -> "ExperimentResult":
         seed=provenance.get("seed"),
         wall_clock_seconds=float(provenance.get("wall_clock_seconds", 0.0)),
         version=provenance.get("version", ""),
+        replication=payload.get("replication"),
     )
 
 

@@ -16,7 +16,7 @@ from repro.analysis.sensitivity import sweep_keyttl_error
 from repro.analysis.strategies import evaluate_strategies
 from repro.analysis.sweep import PAPER_FREQUENCIES, sweep_frequencies
 from repro.analysis.zipf import ZipfDistribution
-from repro.errors import CapabilityError, ParameterError
+from repro.errors import ParameterError
 from repro.experiments.reporting import format_period, format_series
 from repro.experiments.scenario import (
     paper_scenario,
@@ -30,7 +30,7 @@ from repro.pdht.strategies import (
     PartialSelectionStrategy,
     StrategyReport,
 )
-from repro.workload.queries import ShuffledZipfWorkload, ZipfQueryWorkload
+from repro.workload.queries import ShuffledZipfWorkload
 
 
 def _run_strategy(
@@ -43,19 +43,16 @@ def _run_strategy(
     window: float = 0.0,
     engine: str = "event",
 ) -> StrategyReport:
-    """Run one strategy on the selected engine; reports are interchangeable."""
+    """Run one strategy on the selected engine; reports are interchangeable.
+
+    Churn runs on either engine: the kernel charges the availability-
+    dependent per-op model of :mod:`repro.fastsim.churncosts` (calibrated
+    against a churned event substrate below the calibration limit,
+    structural Monte-Carlo beyond), validated within 5% on hit rate and
+    total cost by ``tests/properties/test_property_fastsim.py``.
+    """
     engine = resolve_engine(engine)
     if engine == "vectorized":
-        if churn is not None and churn.enabled:
-            # Same gate as churn_experiment, enforced at the dispatch
-            # layer so no figure can publish the kernel's unvalidated
-            # churn costs (run_fastsim remains available for churn
-            # *dynamics* studies; a disabled config is a no-op and passes).
-            raise CapabilityError(
-                "vectorized figures cannot run under churn: the kernel's "
-                "churn cost model is not yet validated (see ROADMAP open "
-                "items); use engine='event'"
-            )
         from repro.fastsim import run_fastsim
 
         return run_fastsim(
@@ -358,37 +355,25 @@ def churn_experiment(
     query success, index hit rate, and total message rate. Expected: the
     success rate tracks the replica-availability bound ``1-(1-a)^repl``
     (essentially 1 for repl = 50) while hit rate degrades gracefully and
-    cost rises with re-fetching.
+    cost rises with re-fetching — under low availability the cost is
+    dominated by broadcast walks lengthening (and exhausting their TTL)
+    through the fragmented online overlay.
 
-    Event engine only: broadcast-walk cost through an offline-laden
-    overlay (lengthened and failed walks) dominates churn cost, and the
-    vectorized kernel's fixed per-walk charge misses it by multiples —
-    see ROADMAP "churn fidelity". Requesting ``engine="vectorized"``
-    raises instead of publishing an inverted figure.
+    Runs on either engine: ``engine="vectorized"`` charges the
+    availability-dependent per-op model (calibrated below the
+    calibration limit, structural Monte-Carlo beyond), which unlocks
+    availability sweeps at 10^5-10^6 peers.
     """
-    if resolve_engine(engine) == "vectorized":
-        raise CapabilityError(
-            "churn_experiment needs the event engine: the vectorized "
-            "kernel's churn cost model is not yet validated (see ROADMAP "
-            "open items)"
-        )
+    from repro.fastsim.compare import churn_config_for_availability
+
     params = params or simulation_scenario()
     rows_success: list[float] = []
     rows_hit: list[float] = []
     rows_cost: list[float] = []
     for availability in availabilities:
-        if not 0.0 < availability <= 1.0:
-            raise ParameterError(
-                f"availabilities must be in (0, 1], got {availability}"
-            )
-        if availability == 1.0:
-            churn = None
-        else:
-            mean_session = 1800.0
-            mean_offline = mean_session * (1.0 - availability) / availability
-            churn = ChurnConfig(
-                mean_session=mean_session, mean_offline=mean_offline
-            )
+        # One mean-session convention for figures, sweeps and the
+        # cross-engine agreement checks alike.
+        churn = churn_config_for_availability(availability)
         config = PdhtConfig.from_scenario(params)
         report = _run_strategy(
             "partialSelection", params, config, duration, seed=seed,
@@ -461,6 +446,8 @@ def staleness_experiment(
     refresh_period: float = 100.0,
     seed: int = 0,
     ttl_factors: Sequence[float] = (0.25, 1.0, 4.0),
+    refresh_periods: Optional[Sequence[float]] = None,
+    engine: str = "event",
 ) -> FigureSeries:
     """Extension: answer staleness without proactive updates.
 
@@ -472,62 +459,67 @@ def staleness_experiment(
     returning an outdated version, across TTL settings. Expected: staleness
     grows with the TTL (longer-lived entries survive more refreshes) —
     the freshness/cost trade-off hiding inside the keyTtl choice.
+
+    ``refresh_periods`` adds the update-rate sweep axis: one stale/hit
+    series pair per period, over the same TTL factors.
+    ``engine="vectorized"`` measures the same distribution from the
+    kernel's per-key payload/indexed version counters (within 5% of the
+    event engine; ``tests/properties/test_property_fastsim.py``) and
+    scales to 10^5-10^6 peers.
     """
-    from repro.pdht.network import PdhtNetwork
+    from repro.fastsim.compare import (
+        staleness_probe_event,
+        staleness_probe_fast,
+    )
 
     params = params or simulation_scenario(scale=0.02)
     if refresh_period <= 0 or duration <= 0:
         raise ParameterError("duration and refresh_period must be > 0")
-    zipf = ZipfDistribution(params.n_keys, params.alpha)
+    periods = tuple(refresh_periods) if refresh_periods else (refresh_period,)
+    if any(p <= 0 for p in periods):
+        raise ParameterError(f"refresh_periods must be > 0, got {periods}")
+    probe = (
+        staleness_probe_fast
+        if resolve_engine(engine) == "vectorized"
+        else staleness_probe_event
+    )
     base_ttl = PdhtConfig.from_scenario(params).key_ttl
 
-    labels, stale_rates, hit_rates = [], [], []
+    labels: list[str] = []
+    series: dict[str, list[float]] = {}
+    sweeping_periods = len(periods) > 1
     for factor in ttl_factors:
         if factor <= 0:
             raise ParameterError(f"ttl_factors must be > 0, got {factor}")
-        config = PdhtConfig.from_scenario(params).with_ttl(base_ttl * factor)
-        net = PdhtNetwork(params, config, seed=seed)
-        versions = {}
-        for i in range(params.n_keys):
-            versions[i] = 0
-            net.publish(f"key-{i:06d}", (i, 0))
-        workload = ZipfQueryWorkload(zipf, net.streams.get("staleness-queries"))
-        rate = params.network_query_rate
-        rng = net.streams.get("staleness-counts")
-
-        hits = stale_hits = queries = 0
-        next_refresh = refresh_period
-        for _ in range(int(duration)):
-            net.advance(1.0)
-            now = net.simulation.now
-            if now >= next_refresh:
-                for i in range(params.n_keys):
-                    versions[i] += 1
-                    net.refresh_content(f"key-{i:06d}", (i, versions[i]))
-                next_refresh += refresh_period
-            for event in workload.draw(now, int(rng.poisson(rate))):
-                key_index = event.key_index
-                outcome = net.query(
-                    net.random_online_peer(), f"key-{key_index:06d}"
-                )
-                queries += 1
-                if outcome.via_index:
-                    hits += 1
-                    _, version = outcome.value
-                    if version != versions[key_index]:
-                        stale_hits += 1
         labels.append(f"{factor:g}x")
-        stale_rates.append(stale_hits / hits if hits else 0.0)
-        hit_rates.append(hits / queries if queries else 0.0)
+    for period in periods:
+        suffix = f" @ refresh {period:g}s" if sweeping_periods else ""
+        stale_key = f"stale hit fraction{suffix}"
+        hit_key = f"hit rate{suffix}"
+        stale_rates, hit_rates = [], []
+        for factor in ttl_factors:
+            config = PdhtConfig.from_scenario(params).with_ttl(
+                base_ttl * factor
+            )
+            stale, hit_rate = probe(params, config, duration, period, seed)
+            stale_rates.append(stale)
+            hit_rates.append(hit_rate)
+        series[stale_key] = stale_rates
+        series[hit_key] = hit_rates
 
+    period_note = (
+        ", ".join(f"{p:g}" for p in periods)
+        if sweeping_periods
+        else f"{periods[0]:.0f}"
+    )
     return FigureSeries(
         name=(
             "Extension - index staleness without proactive updates "
-            f"(content refreshed every {refresh_period:.0f}s)"
+            f"(content refreshed every {period_note}s, {engine})"
         ),
         x_label="keyTtl factor",
         x_values=labels,
-        series={"stale hit fraction": stale_rates, "hit rate": hit_rates},
+        series=series,
         notes="stale = index hit whose payload predates the last refresh",
     )
 

@@ -11,29 +11,26 @@ Usage::
 
 Every experiment is an :class:`~repro.experiments.api.ExperimentSpec`;
 ``--list`` enumerates the registry with each experiment's engine
-capabilities. ``--engine``/``--seed``/``--scale``/``--duration`` override
-the spec defaults where the spec accepts them; requesting an engine an
-experiment does not support exits non-zero with the gate reason (the old
-runner silently fell back to the event engine). ``--format csv|json``
-switches the output from rendered ASCII to machine-readable series
-(JSON results carry full provenance), and ``--output DIR`` writes one
+capabilities. ``--engine``/``--seed``/``--scale``/``--duration``/
+``--replicates`` override the spec defaults where the spec accepts them;
+requesting an engine an experiment does not support exits non-zero with
+the gate reason (the old runner silently fell back to the event engine).
+``--format csv|json`` switches the output from rendered ASCII to
+machine-readable series (JSON results carry full provenance, including
+per-seed values for replicated runs), and ``--output DIR`` writes one
 file per experiment instead of printing.
 
-The old ``EXPERIMENTS`` dict (name -> callable taking an engine string)
-remains as a deprecated shim over the registry; use
-:func:`repro.experiments.api.run` instead.
+The pre-registry ``EXPERIMENTS`` dict shim is gone; use
+:func:`repro.experiments.api.run` and the registry.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import warnings
-from typing import Callable, Iterator, Mapping
 
 from repro.errors import CapabilityError, ReproError
 from repro.experiments.api import (
-    ANALYTICAL,
     ExperimentResult,
     experiment_names,
     get_spec,
@@ -42,71 +39,24 @@ from repro.experiments.api import (
 )
 from repro.experiments.scenario import ENGINES
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main"]
 
 FORMATS = ("text", "csv", "json")
-
-
-# ----------------------------------------------------------------------
-# Deprecated dict shim
-# ----------------------------------------------------------------------
-class _DeprecatedExperiments(Mapping):
-    """The pre-registry ``EXPERIMENTS`` surface, kept for old callers.
-
-    Values are ``callable(engine: str) -> str`` like before: analytical
-    experiments ignore the engine, and capability-gated experiments run
-    their default engine with the historical one-line note instead of
-    failing (the new API and CLI fail loudly; this shim preserves the old
-    forgiving behaviour for existing scripts).
-    """
-
-    _WARNING = (
-        "runner.EXPERIMENTS is deprecated; use repro.experiments.api.run() "
-        "and the experiment registry instead"
-    )
-
-    def __getitem__(self, name: str) -> Callable[[str], str]:
-        warnings.warn(self._WARNING, DeprecationWarning, stacklevel=2)
-        if name not in experiment_names():
-            raise KeyError(name)  # Mapping contract: `in` / .get() rely on it
-        spec = get_spec(name)
-
-        def legacy(engine: str) -> str:
-            if spec.kind == ANALYTICAL:
-                return run(name).render()
-            if spec.supports(engine):
-                return run(name, engine=engine).render()
-            result = run(name, engine=spec.default_engine)
-            return (
-                f"({name} runs on the {spec.default_engine} engine only)\n"
-                + result.render()
-            )
-
-        return legacy
-
-    def __iter__(self) -> Iterator[str]:
-        return iter(experiment_names())
-
-    def __len__(self) -> int:
-        return len(experiment_names())
-
-
-#: Deprecated: experiment name -> callable taking the simulation engine.
-EXPERIMENTS: Mapping[str, Callable[[str], str]] = _DeprecatedExperiments()
 
 
 # ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
 def _listing() -> str:
-    lines = [f"{'name':<12} {'kind':<11} {'engines':<19} title"]
+    width = max(4, max(len(name) for name in experiment_names()))
+    lines = [f"{'name':<{width}} {'kind':<11} {'engines':<19} title"]
     for spec in iter_specs():
         lines.append(
-            f"{spec.name:<12} {spec.kind:<11} "
+            f"{spec.name:<{width}} {spec.kind:<11} "
             f"{spec.capability_label():<19} {spec.title}"
         )
         if spec.gate_reason:
-            lines.append(f"{'':<12} {'':<11} gated: {spec.gate_reason}")
+            lines.append(f"{'':<{width}} {'':<11} gated: {spec.gate_reason}")
     lines.append("")
     lines.append("(* = default engine; 'all' runs every experiment)")
     return "\n".join(lines)
@@ -173,6 +123,14 @@ def main(argv: list[str] | None = None) -> int:
         help="simulated duration override in rounds",
     )
     parser.add_argument(
+        "--replicates",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run N consecutive seeds and report seed means with "
+        "confidence intervals (simulated experiments)",
+    )
+    parser.add_argument(
         "--format",
         choices=FORMATS,
         default="text",
@@ -212,6 +170,7 @@ def main(argv: list[str] | None = None) -> int:
         "seed": args.seed,
         "scale": args.scale,
         "duration": args.duration,
+        "replicates": args.replicates,
     }
     for name in names:
         spec = get_spec(name)

@@ -4,25 +4,35 @@ The ROADMAP's sweep item: exploit the batch kernel for keyTtl x alpha x
 fQry grids at paper scale (Table 1, 20,000 peers) — the event engine
 needs minutes per cell there, the kernel tens of milliseconds. The grid
 is expressed in the Experiment API (``run("sweep", ...)``) so its results
-render, export and carry provenance like any figure.
+render, export and carry provenance like any figure. With the kernel's
+churn model validated, the grid also sweeps *availability*
+(:attr:`GridAxes.availabilities`): cells below 1.0 run under churn with
+the availability-dependent per-op cost model.
 
 Programmatic use::
 
-    from repro.experiments.sweeps import GridAxes, sweep_grid
+    from repro.experiments.sweeps import GridAxes, sweep_grid, optimal_cells
 
-    fig = sweep_grid(GridAxes(ttl_factors=(0.5, 2.0), alphas=(1.2,),
-                              query_freqs=(1/30, 1/600)))
+    axes = GridAxes(ttl_factors=(0.5, 2.0), alphas=(1.2,),
+                    query_freqs=(1/30, 1/600))
+    fig = sweep_grid(axes)
     print(fig.render())
+    print(optimal_cells(fig, axes).render())   # argmin cost per slice
 
 Each grid cell runs the selection algorithm through
 :func:`repro.fastsim.run_fastsim` with ``keyTtl`` scaled off the
 analytical ``1/fMin`` for that cell's scenario, and reports the measured
 hit rate and msg/s next to the Eq. 16 model prediction at the same point.
+:func:`optimal_cells` derives the empirical optimal-TTL surface from the
+raw grid: for every (availability, alpha, fQry) slice, the TTL factor
+minimising measured total cost — the measured counterpart of
+:func:`repro.analysis.optimal.optimal_key_ttl`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import Iterator, Optional
 
 from repro.analysis.parameters import ScenarioParameters
@@ -37,7 +47,7 @@ from repro.experiments.figures import FigureSeries
 from repro.experiments.reporting import format_period
 from repro.experiments.scenario import paper_scenario
 
-__all__ = ["GridAxes", "GridPoint", "sweep_grid"]
+__all__ = ["GridAxes", "GridPoint", "sweep_grid", "optimal_cells"]
 
 
 @dataclass(frozen=True)
@@ -47,48 +57,77 @@ class GridPoint:
     ttl_factor: float
     alpha: float
     query_freq: float
+    availability: float = 1.0
 
     def label(self) -> str:
-        return (
+        text = (
             f"{self.ttl_factor:g}x|a={self.alpha:g}|"
             f"{format_period(self.query_freq)}"
         )
+        if self.availability != 1.0:
+            text += f"|av={self.availability:g}"
+        return text
+
+    def slice_label(self) -> str:
+        """The (availability, alpha, fQry) slice this cell belongs to."""
+        text = f"a={self.alpha:g}|{format_period(self.query_freq)}"
+        if self.availability != 1.0:
+            text += f"|av={self.availability:g}"
+        return text
 
 
 @dataclass(frozen=True)
 class GridAxes:
-    """The swept axes: keyTtl scale factors x Zipf alphas x query freqs.
+    """The swept axes: keyTtl factors x alphas x query freqs x availability.
 
     Defaults cover the paper's interesting ranges: TTLs around the
     analytical ``1/fMin`` choice, the Zipf exponent above and below the
-    paper's 1.2, and query frequencies spanning Fig. 1's sweep.
+    paper's 1.2, query frequencies spanning Fig. 1's sweep, and no churn
+    (``availabilities=(1.0,)``; add e.g. ``(1.0, 0.75, 0.5)`` to sweep
+    the churn dimension on the kernel's availability-dependent costs).
     """
 
     ttl_factors: tuple[float, ...] = (0.5, 1.0, 2.0)
     alphas: tuple[float, ...] = (0.8, 1.2)
     query_freqs: tuple[float, ...] = (1 / 30, 1 / 600, 1 / 7200)
+    availabilities: tuple[float, ...] = (1.0,)
 
     def __post_init__(self) -> None:
         for name, values in (
             ("ttl_factors", self.ttl_factors),
             ("alphas", self.alphas),
             ("query_freqs", self.query_freqs),
+            ("availabilities", self.availabilities),
         ):
             if not values:
                 raise ParameterError(f"{name} must be non-empty")
             if any(v <= 0 for v in values):
                 raise ParameterError(f"{name} must be > 0, got {values}")
+        if any(v > 1.0 for v in self.availabilities):
+            raise ParameterError(
+                f"availabilities must be in (0, 1], got {self.availabilities}"
+            )
 
     @property
     def size(self) -> int:
-        return len(self.ttl_factors) * len(self.alphas) * len(self.query_freqs)
+        return (
+            len(self.ttl_factors)
+            * len(self.alphas)
+            * len(self.query_freqs)
+            * len(self.availabilities)
+        )
 
     def points(self) -> Iterator[GridPoint]:
-        """Row-major iteration: fQry fastest, then alpha, then keyTtl."""
-        for ttl_factor in self.ttl_factors:
-            for alpha in self.alphas:
-                for query_freq in self.query_freqs:
-                    yield GridPoint(ttl_factor, alpha, query_freq)
+        """Row-major iteration: fQry fastest, then alpha, then keyTtl,
+        then availability (so the default no-churn grid keeps its
+        historical cell order)."""
+        for availability in self.availabilities:
+            for ttl_factor in self.ttl_factors:
+                for alpha in self.alphas:
+                    for query_freq in self.query_freqs:
+                        yield GridPoint(
+                            ttl_factor, alpha, query_freq, availability
+                        )
 
 
 def sweep_grid(
@@ -101,10 +140,13 @@ def sweep_grid(
 
     Every cell re-derives the scenario (alpha, fQry) and the analytical
     keyTtl, scales the TTL by the cell's factor, and measures hit rate
-    and total msg/s with :func:`repro.fastsim.run_fastsim`. The Eq. 16
-    model prediction at the same TTL rides along for cross-checking.
+    and total msg/s with :func:`repro.fastsim.run_fastsim`. Cells with
+    availability < 1 run under churn (mean session 30 min, offline time
+    derived). The Eq. 16 model prediction at the same TTL rides along
+    for cross-checking.
     """
     from repro.fastsim import run_fastsim
+    from repro.fastsim.compare import churn_config_for_availability
     from repro.pdht.config import PdhtConfig
 
     axes = axes or GridAxes()
@@ -129,15 +171,17 @@ def sweep_grid(
             duration=duration,
             strategy="partialSelection",
             seed=seed,
+            churn=churn_config_for_availability(point.availability),
         )
         labels.append(point.label())
         hit_rates.append(report.hit_rate)
         measured.append(report.messages_per_second)
         model.append(SelectionModel(cell, key_ttl=config.key_ttl).total_cost())
         ttls.append(config.key_ttl)
+    churned = "" if axes.availabilities == (1.0,) else " x availability"
     return FigureSeries(
         name=(
-            f"Sweep - keyTtl x alpha x fQry grid "
+            f"Sweep - keyTtl x alpha x fQry{churned} grid "
             f"({scenario.num_peers} peers, {scenario.n_keys} keys, "
             f"{axes.size} cells, vectorized)"
         ),
@@ -156,6 +200,89 @@ def sweep_grid(
     )
 
 
+def optimal_cells(grid: FigureSeries, axes: GridAxes) -> FigureSeries:
+    """Derive the optimal-cell surface from a :func:`sweep_grid` figure.
+
+    For every (availability, alpha, fQry) slice, find the TTL factor
+    whose cell minimises measured total cost (argmin over the grid's
+    keyTtl axis) and report it alongside the minimal cost, the model's
+    prediction there, and the hit rate — the measured answer to "which
+    keyTtl should this workload run?", exported alongside the raw grid.
+    """
+    points = list(axes.points())
+    if len(points) != len(grid.x_values):
+        raise ParameterError(
+            f"grid has {len(grid.x_values)} cells but axes describe "
+            f"{len(points)}; pass the axes the grid was swept with"
+        )
+    measured = grid.series_of("msg/s")
+    model = grid.series_of("model msg/s")
+    hit_rates = grid.series_of("hit rate")
+    ttls = grid.series_of("keyTtl [s]")
+
+    by_slice: dict[str, list[int]] = {}
+    for index, point in enumerate(points):
+        by_slice.setdefault(point.slice_label(), []).append(index)
+
+    labels: list[str] = []
+    best_factor: list[float] = []
+    best_cost: list[float] = []
+    model_cost: list[float] = []
+    best_hit: list[float] = []
+    best_ttl: list[float] = []
+    for label, indices in by_slice.items():
+        winner = min(indices, key=lambda i: measured[i])
+        labels.append(label)
+        best_factor.append(points[winner].ttl_factor)
+        best_cost.append(measured[winner])
+        model_cost.append(model[winner])
+        best_hit.append(hit_rates[winner])
+        best_ttl.append(ttls[winner])
+    return FigureSeries(
+        name=(
+            "Sweep optimal cells - argmin msg/s per alpha|fQry slice "
+            f"({len(labels)} slices over {len(points)} cells)"
+        ),
+        x_label="alpha|fQry",
+        x_values=labels,
+        series={
+            "best keyTtl factor": best_factor,
+            "best keyTtl [s]": best_ttl,
+            "min msg/s": best_cost,
+            "model msg/s at best": model_cost,
+            "hit rate at best": best_hit,
+        },
+        notes=(
+            "derived from the raw sweep grid: the measured counterpart "
+            "of analysis.optimal.optimal_key_ttl"
+        ),
+    )
+
+
+@lru_cache(maxsize=4)
+def _default_grid_json(
+    scenario: ScenarioParameters, duration: float, seed: int
+) -> str:
+    """One default-axes grid per (scenario, duration, seed), as JSON.
+
+    ``sweep`` and ``sweep-optimal`` derive from the same expensive grid;
+    caching the serialised form lets ``runner all`` pay for it once
+    while every caller still gets a fresh, independently mutable
+    :class:`FigureSeries`.
+    """
+    return sweep_grid(
+        GridAxes(), scenario=scenario, duration=duration, seed=seed
+    ).to_json()
+
+
+def _default_grid(ctx: ExperimentContext) -> FigureSeries:
+    from repro.experiments.export import load_figure_json
+
+    return load_figure_json(
+        _default_grid_json(ctx.scenario, ctx.duration, ctx.seed)
+    )
+
+
 @experiment(
     "sweep",
     "Sweep - keyTtl x alpha x fQry grid at paper scale (fastsim)",
@@ -165,12 +292,28 @@ def sweep_grid(
         "the grid runs Table 1 at full scale (and beyond, via --scale); "
         "only the vectorized batch kernel is tractable there"
     ),
-    accepts={"engine", "duration", "seed", "scale"},
+    accepts={"engine", "duration", "seed", "scale", "replicates"},
     duration=240.0,
     seed=0,
     scale=1.0,
 )
 def _sweep(ctx: ExperimentContext) -> FigureSeries:
-    return sweep_grid(
-        scenario=ctx.scenario, duration=ctx.duration, seed=ctx.seed
-    )
+    return _default_grid(ctx)
+
+
+@experiment(
+    "sweep-optimal",
+    "Sweep - optimal keyTtl cell per alpha|fQry slice (fastsim)",
+    SIMULATED,
+    engines=("vectorized",),
+    gate_reason=(
+        "derived from the paper-scale sweep grid; only the vectorized "
+        "batch kernel is tractable there"
+    ),
+    accepts={"engine", "duration", "seed", "scale", "replicates"},
+    duration=240.0,
+    seed=0,
+    scale=1.0,
+)
+def _sweep_optimal(ctx: ExperimentContext) -> FigureSeries:
+    return optimal_cells(_default_grid(ctx), GridAxes())

@@ -14,22 +14,42 @@ numpy batch operations:
   (query -> hit/miss -> TTL refresh -> eviction -> cost accounting) for
   all four Fig. 1 strategies, plus per-op cost models and the batch
   adaptive-TTL hook;
-* :mod:`repro.fastsim.churn` — vectorized on/offline transitions;
-* :mod:`repro.fastsim.metrics` — aggregate hit-rate/cost/storage series;
+* :mod:`repro.fastsim.churn` — vectorized on/offline transitions with
+  incremental online-fraction tracking and per-round
+  replica-availability vectors;
+* :mod:`repro.fastsim.churncosts` — availability-dependent per-op costs
+  (walk lengthening / TTL exhaustion through the fragmented online
+  overlay, shrunken floods, turnover misses) with structural
+  Monte-Carlo estimators for beyond-calibration scales;
+* :mod:`repro.fastsim.metrics` — aggregate hit-rate/cost/storage series
+  plus per-key payload-version staleness;
 * :mod:`repro.fastsim.compare` — per-op cost calibration against the
-  event engine and cross-engine agreement checks.
+  event engine (with and without churn) and cross-engine agreement
+  checks (aggregates, churn cost, staleness fraction).
 
 Select it anywhere the experiment harness runs simulations via
 ``engine="vectorized"`` (see :mod:`repro.experiments.scenario`).
 """
 
 from repro.fastsim.churn import BatchChurnProcess
+from repro.fastsim.churncosts import (
+    ChurnOpCosts,
+    structural_flood_cost,
+    structural_walk_costs,
+)
 from repro.fastsim.compare import (
     CALIBRATION_LIMIT,
     EngineAgreement,
+    calibrate_churn_costs,
     calibrate_costs,
+    churn_config_for_availability,
+    churn_costs_for,
     compare_engines,
+    compare_engines_churn,
+    compare_engines_staleness,
     costs_for,
+    staleness_probe_event,
+    staleness_probe_fast,
 )
 from repro.fastsim.kernel import (
     FastAdaptiveTtl,
@@ -54,6 +74,7 @@ __all__ = [
     "BatchFlashCrowdWorkload",
     "BatchChurnProcess",
     "PerOpCosts",
+    "ChurnOpCosts",
     "FastAdaptiveTtl",
     "FastSimKernel",
     "run_fastsim",
@@ -62,6 +83,15 @@ __all__ = [
     "EngineAgreement",
     "CALIBRATION_LIMIT",
     "calibrate_costs",
+    "calibrate_churn_costs",
+    "churn_config_for_availability",
+    "churn_costs_for",
     "costs_for",
     "compare_engines",
+    "compare_engines_churn",
+    "compare_engines_staleness",
+    "staleness_probe_event",
+    "staleness_probe_fast",
+    "structural_flood_cost",
+    "structural_walk_costs",
 ]

@@ -48,19 +48,35 @@ class BatchChurnProcess:
         self.p_leave = 1.0 - math.exp(-dt / config.mean_session)
         self.p_return = 1.0 - math.exp(-dt / config.mean_offline)
         self.transitions = 0
+        #: Instantaneous online count / population, maintained
+        #: incrementally from the per-round transition masks (so a
+        #: million-peer kernel never re-sums the whole mask per round).
+        self._online_count = 0
+        self._population = 0
 
     @property
     def availability(self) -> float:
         """Long-run online fraction (same closed form as the event engine)."""
         return self.config.availability
 
+    @property
+    def online_fraction(self) -> float:
+        """Instantaneous online fraction after the last step."""
+        if self._population == 0:
+            return self.availability
+        return self._online_count / self._population
+
     # ------------------------------------------------------------------
     def initialise(self, online: np.ndarray) -> None:
         """Draw the steady-state liveness for every peer in place."""
         if not self.config.enabled:
             online.fill(True)
+            self._population = online.size
+            self._online_count = online.size
             return
         online[:] = self.rng.random(online.size) < self.availability
+        self._population = online.size
+        self._online_count = int(online.sum())
 
     def step(self, online: np.ndarray) -> int:
         """Advance one round; flips states in place, returns transitions."""
@@ -68,7 +84,26 @@ class BatchChurnProcess:
             return 0
         draws = self.rng.random(online.size)
         flip = np.where(online, draws < self.p_leave, draws < self.p_return)
+        went_offline = int((flip & online).sum())
         online[flip] = ~online[flip]
         flipped = int(flip.sum())
         self.transitions += flipped
+        self._online_count += flipped - 2 * went_offline
         return flipped
+
+    # ------------------------------------------------------------------
+    def replica_online_counts(
+        self, n: int, replication: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Per-key replica-availability vector for ``n`` queried keys.
+
+        Each missing key's ``replication`` content replicas sit on
+        uniformly random peers, so the number currently *online* is
+        Binomial(replication, online fraction) — drawn at the
+        instantaneous fraction, not the stationary one, so a transient
+        mass departure immediately shows up as unresolvable searches.
+        """
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        fraction = min(max(self.online_fraction, 0.0), 1.0)
+        return rng.binomial(replication, fraction, size=n)

@@ -1,33 +1,44 @@
 """Cross-engine agreement: the fast path must reproduce the event engine.
 
-Two tools:
+The tools:
 
 * :func:`calibrate_costs` — measure the event engine's actual per-operation
   message costs (DHT lookup hops, replica-flood size, broadcast-walk
   length, maintenance rate) off a real :class:`~repro.pdht.network.PdhtNetwork`
   substrate, so the kernel charges what the event engine *measures* rather
   than what the model predicts;
-* :func:`compare_engines` — run the same scenario through both engines
-  over several seeds and report the relative disagreement of the aggregate
-  hit rate and total message cost (the quantities behind Figs. 1-4).
+* :func:`calibrate_churn_costs` — the same idea at a given availability:
+  run an instrumented probe workload (plus interleaved broadcast-walk
+  probes) on a *churned* substrate, classify every query against a
+  shadow TTL tracker mirroring the kernel's index recurrence, and read
+  off the availability-dependent per-op costs and hit-path fractions the
+  kernel's churn model charges (:class:`~repro.fastsim.churncosts.ChurnOpCosts`);
+* :func:`compare_engines` / :func:`compare_engines_churn` /
+  :func:`compare_engines_staleness` — run the same scenario through both
+  engines over several seeds and report the relative disagreement of the
+  aggregate hit rate, total message cost and (for staleness) the stale
+  hit fraction.
 
-The agreement property test and ``benchmarks/bench_fastsim.py`` are thin
-wrappers around :func:`compare_engines`.
+The agreement property tests and ``benchmarks/bench_fastsim.py`` are thin
+wrappers around the ``compare_engines*`` family.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
 from functools import lru_cache
 from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.costs import c_search_index
 from repro.analysis.parameters import ScenarioParameters
 from repro.analysis.zipf import ZipfDistribution
 from repro.errors import ParameterError
+from repro.fastsim.churncosts import ChurnOpCosts, conditional_walk_failure
 from repro.fastsim.kernel import PerOpCosts, run_fastsim
+from repro.net.churn import ChurnConfig
 from repro.pdht.config import PdhtConfig
 from repro.pdht.network import PdhtNetwork
 from repro.pdht.strategies import PartialSelectionStrategy
@@ -36,8 +47,15 @@ __all__ = [
     "CALIBRATION_LIMIT",
     "calibrate_costs",
     "costs_for",
+    "calibrate_churn_costs",
+    "churn_costs_for",
+    "churn_config_for_availability",
     "EngineAgreement",
     "compare_engines",
+    "compare_engines_churn",
+    "compare_engines_staleness",
+    "staleness_probe_event",
+    "staleness_probe_fast",
 ]
 
 
@@ -165,6 +183,301 @@ def _costs_for_cached(
     )
 
 
+def churn_config_for_availability(
+    availability: float, mean_session: float = 1800.0
+) -> Optional[ChurnConfig]:
+    """The :class:`ChurnConfig` hitting a target stationary availability
+    (mean session fixed, offline time derived); None at availability 1."""
+    if not 0.0 < availability <= 1.0:
+        raise ParameterError(
+            f"availability must be in (0, 1], got {availability}"
+        )
+    if availability == 1.0:
+        return None
+    return ChurnConfig(
+        mean_session=mean_session,
+        mean_offline=mean_session * (1.0 - availability) / availability,
+    )
+
+
+def calibrate_churn_costs(
+    params: ScenarioParameters,
+    churn: ChurnConfig,
+    config: Optional[PdhtConfig] = None,
+    seed: int = 0,
+    warmup: float = 60.0,
+    rounds: float = 200.0,
+    walk_probes: int = 600,
+) -> ChurnOpCosts:
+    """Measure availability-dependent per-op costs on a churned substrate.
+
+    Builds the same churned :class:`~repro.pdht.network.PdhtNetwork` the
+    event-engine strategies run on, warms its index with the scenario's
+    own Zipf workload, then keeps driving that workload for ``rounds``
+    while classifying every query against a *shadow* TTL tracker that
+    mirrors the kernel's per-key max-expiry recurrence:
+
+    * shadow-live query answered without a flood -> direct hit;
+    * shadow-live query answered after the replica-group flood -> the
+      responsible-peer-turnover surcharge (``hit_flood_fraction``);
+    * shadow-live query that misses anyway -> ``turnover_miss``;
+    * shadow-dead query -> an ordinary miss, whose flood/walk/insert
+      messages calibrate the per-event costs.
+
+    Broadcast-walk probes (fresh keys, random online origins) are
+    interleaved with the workload rounds so the failure probability and
+    the resolved/failed walk costs are sampled across the same churn
+    trajectory the comparison runs traverse, not one frozen percolation
+    snapshot. The probe runs the *actual* :class:`ChurnConfig` (not just
+    its stationary availability): session length controls how fast the
+    online mask mixes, which the walk statistics inherit.
+    """
+    from repro.sim.metrics import MessageCategory
+    from repro.workload.queries import ZipfQueryWorkload
+
+    if not churn.enabled:
+        raise ParameterError(
+            "calibrate_churn_costs needs enabled churn "
+            "(the no-churn costs come from calibrate_costs)"
+        )
+    availability = churn.availability
+    if warmup < 0 or rounds <= 0:
+        raise ParameterError("need warmup >= 0 and rounds > 0")
+    if int(round(warmup + rounds)) <= int(round(warmup)):
+        raise ParameterError(
+            f"rounds={rounds} adds no measuring round after "
+            f"warmup={warmup}; use at least one whole round"
+        )
+    if walk_probes < 1:
+        raise ParameterError(f"walk_probes must be >= 1, got {walk_probes}")
+    config = config or PdhtConfig.from_scenario(params)
+    net = PdhtNetwork(params, config, seed=seed, churn=churn)
+    for i in range(params.n_keys):
+        net.publish(f"key-{i:06d}", i)
+    zipf = ZipfDistribution(params.n_keys, params.alpha)
+    workload = ZipfQueryWorkload(zipf, net.streams.get("churn-cal-queries"))
+    count_rng = net.streams.get("churn-cal-counts")
+    probe_rng = net.streams.get("churn-cal-probes")
+    rate = params.network_query_rate
+    key_ttl = config.key_ttl
+    shadow = np.full(params.n_keys, -np.inf)
+
+    direct_hits = flooded_hits = turnover = shadow_live = 0
+    lookup_sum = lookup_n = 0
+    miss_lookup_sum = 0
+    hit_flood_sum = miss_flood_sum = miss_flood_n = 0
+    insert_sum = insert_n = 0
+    resolved_sum = resolved_n = 0
+    failed_sum = failed_n = walks = 0
+    maintenance_start: Optional[float] = None
+
+    total_rounds = int(round(warmup + rounds))
+    measure_from = int(round(warmup))
+    # Diff of the *rounded cumulative* schedule: the per-round quotas sum
+    # to exactly walk_probes for any probes/rounds ratio (rounding each
+    # quota independently collapses to zero below 0.5 probes per round).
+    probes_per_round = [
+        int(n)
+        for n in np.diff(
+            np.round(
+                np.linspace(
+                    0, walk_probes, max(total_rounds - measure_from, 1) + 1
+                )
+            )
+        )
+    ]
+    probe_serial = 0
+    for round_index in range(total_rounds):
+        net.advance(1.0)
+        now = net.simulation.now
+        measuring = round_index >= measure_from
+        if measuring and maintenance_start is None:
+            maintenance_start = net.metrics.total(MessageCategory.MAINTENANCE)
+        count = int(count_rng.poisson(rate))
+        for event in workload.draw(now, count):
+            key_index = event.key_index
+            key = f"key-{key_index:06d}"
+            try:
+                origin = net.random_online_peer()
+            except ParameterError:
+                continue  # nobody online to originate (extreme churn)
+            outcome = net.query(origin, key)
+            live = shadow[key_index] > now
+            if outcome.via_index or outcome.found:
+                shadow[key_index] = now + key_ttl
+            if not measuring:
+                continue
+            lookup_sum += outcome.index_messages
+            lookup_n += 1
+            if outcome.via_index:
+                if outcome.flood_messages:
+                    flooded_hits += 1
+                    hit_flood_sum += outcome.flood_messages
+                else:
+                    direct_hits += 1
+            else:
+                miss_lookup_sum += outcome.index_messages
+                miss_flood_sum += outcome.flood_messages
+                miss_flood_n += 1
+                walks += 1
+                if outcome.found:
+                    resolved_sum += outcome.walk_messages
+                    resolved_n += 1
+                    insert_sum += outcome.insert_messages
+                    insert_n += 1
+                else:
+                    failed_sum += outcome.walk_messages
+                    failed_n += 1
+            if live:
+                shadow_live += 1
+                if not outcome.via_index:
+                    turnover += 1
+        if measuring:
+            for _ in range(probes_per_round[round_index - measure_from]):
+                try:
+                    origin = net.random_online_peer()
+                except ParameterError:
+                    break  # nobody online this round
+                probe_key = f"churn-cal-{probe_serial}"
+                probe_serial += 1
+                net.publish(probe_key, probe_serial)
+                walk = net.walker.search(origin, probe_key)
+                walks += 1
+                if walk.found:
+                    resolved_sum += walk.messages
+                    resolved_n += 1
+                else:
+                    failed_sum += walk.messages
+                    failed_n += 1
+
+    maintenance = (
+        net.metrics.total(MessageCategory.MAINTENANCE)
+        - (maintenance_start or 0.0)
+    ) / rounds
+    lookup = lookup_sum / max(lookup_n, 1)
+    miss_lookup = miss_lookup_sum / miss_flood_n if miss_flood_n else lookup
+    hits = direct_hits + flooded_hits
+    hit_flood = hit_flood_sum / flooded_hits if flooded_hits else 0.0
+    probe_flood_rng = net.streams.get("churn-cal-flood-fallback")
+    if miss_flood_n:
+        miss_flood = miss_flood_sum / miss_flood_n
+    else:
+        from repro.fastsim.churncosts import structural_flood_cost
+
+        miss_flood = structural_flood_cost(
+            config.replication, config.replica_degree, availability,
+            probe_flood_rng,
+        )
+    # The insert re-looks-up the key that just missed, so its flood share
+    # is whatever remains after that (cheaper, tail-keyed) lookup.
+    insert_flood = (
+        max(insert_sum / insert_n - miss_lookup, 0.0)
+        if insert_n
+        else miss_flood
+    )
+    return ChurnOpCosts(
+        availability=availability,
+        lookup=lookup,
+        miss_lookup=miss_lookup,
+        hit_flood=hit_flood if flooded_hits else miss_flood,
+        miss_flood=miss_flood,
+        insert_flood=insert_flood,
+        resolved_walk=resolved_sum / resolved_n if resolved_n else 0.0,
+        failed_walk=(
+            failed_sum / failed_n
+            if failed_n
+            else float(config.walkers * config.walk_ttl)
+        ),
+        walk_failure=conditional_walk_failure(
+            failed_n / walks if walks else 0.0,
+            availability,
+            config.replication,
+        ),
+        hit_flood_fraction=flooded_hits / hits if hits else 0.0,
+        turnover_miss=turnover / shadow_live if shadow_live else 0.0,
+        maintenance_per_round=max(maintenance, 0.0),
+        num_active_peers=len(net.nodes),
+        source="calibrated",
+    )
+
+
+def churn_costs_for(
+    params: ScenarioParameters,
+    config: PdhtConfig,
+    num_active_peers: int,
+    churn: ChurnConfig,
+    base: PerOpCosts,
+    seed: int = 0,
+) -> ChurnOpCosts:
+    """The kernel's default churn-cost policy, mirroring :func:`costs_for`:
+    measure on a churned event-engine substrate while one is cheap to
+    build, fall back to the structural Monte-Carlo estimators beyond
+    :data:`CALIBRATION_LIMIT` peers.
+
+    The calibration probe runs at the network's own DHT sizing; when a
+    strategy asks for a different ``num_active_peers`` (indexAll's full
+    index, partialIdeal's threshold) the member-dependent costs (lookup,
+    maintenance) are rescaled analytically to the requested online
+    membership — floods and walks depend on the replication factor and
+    the overlay, not the DHT size, and carry over unchanged.
+
+    Cost note: below the limit the probe drives a real event-engine
+    workload for ~260 rounds per (scenario, config, churn, seed), so a
+    *sub-limit* ``engine="vectorized"`` churn run pays roughly one
+    event-engine run per availability and seed up front (cached across
+    repeats; unlike ``costs_for`` the cache key cannot normalise
+    ``key_ttl``/``query_freq`` — the measured hit-path fractions
+    genuinely depend on them). That is the price of 5% fidelity where
+    the event engine is still tractable; the kernel's scale advantage
+    is beyond the limit, where the structural estimators replace the
+    probe entirely.
+    """
+    if params.num_peers <= CALIBRATION_LIMIT:
+        calibrated = _churn_costs_cached(params, config, churn, seed)
+        return _rescale_members(calibrated, num_active_peers)
+    return ChurnOpCosts.structural(
+        params,
+        config,
+        num_active_peers,
+        churn.availability,
+        base_walk=base.walk,
+        base_flood=base.flood,
+        base_maintenance=base.maintenance_per_round,
+        seed=seed,
+    )
+
+
+@lru_cache(maxsize=32)
+def _churn_costs_cached(
+    params: ScenarioParameters,
+    config: PdhtConfig,
+    churn: ChurnConfig,
+    seed: int,
+) -> ChurnOpCosts:
+    return calibrate_churn_costs(params, churn, config, seed=seed)
+
+
+def _rescale_members(costs: ChurnOpCosts, num_active_peers: int) -> ChurnOpCosts:
+    """Adjust the member-dependent costs to a different DHT size."""
+    if num_active_peers == costs.num_active_peers:
+        return costs
+    old_online = max(2, int(round(costs.num_active_peers * costs.availability)))
+    new_online = max(2, int(round(num_active_peers * costs.availability)))
+    old_lookup = c_search_index(old_online)
+    lookup_scale = c_search_index(new_online) / old_lookup if old_lookup else 1.0
+    import math
+
+    maintenance_scale = (new_online * math.log2(new_online)) / (
+        old_online * math.log2(old_online)
+    )
+    return dc_replace(
+        costs,
+        lookup=costs.lookup * lookup_scale,
+        maintenance_per_round=costs.maintenance_per_round * maintenance_scale,
+        num_active_peers=num_active_peers,
+    )
+
+
 @dataclass
 class EngineAgreement:
     """Per-seed aggregates of both engines plus their relative deviation."""
@@ -176,6 +489,11 @@ class EngineAgreement:
     fast_hit_rates: list[float] = field(default_factory=list)
     event_costs: list[float] = field(default_factory=list)
     fast_costs: list[float] = field(default_factory=list)
+    #: Stale-hit fractions (staleness comparisons only; empty otherwise).
+    event_staleness: list[float] = field(default_factory=list)
+    fast_staleness: list[float] = field(default_factory=list)
+    #: Stationary availability of a churn comparison (None without churn).
+    availability: Optional[float] = None
     event_seconds: float = 0.0
     fast_seconds: float = 0.0
 
@@ -200,6 +518,16 @@ class EngineAgreement:
         return abs(self._mean(self.fast_costs) - event) / event
 
     @property
+    def staleness_rel_diff(self) -> float:
+        """|fast - event| / event, on seed-averaged stale hit fractions."""
+        if not self.event_staleness and not self.fast_staleness:
+            return 0.0
+        event = self._mean(self.event_staleness)
+        if event == 0:
+            return abs(self._mean(self.fast_staleness))
+        return abs(self._mean(self.fast_staleness) - event) / event
+
+    @property
     def speedup(self) -> float:
         """Event-engine wall-clock over fast-path wall-clock."""
         if self.fast_seconds <= 0:
@@ -207,22 +535,32 @@ class EngineAgreement:
         return self.event_seconds / self.fast_seconds
 
     def agrees(self, tolerance: float = 0.05) -> bool:
-        """Within-tolerance on both hit rate and total cost."""
+        """Within-tolerance on hit rate, total cost and (when measured)
+        the stale hit fraction."""
         return (
             self.hit_rate_rel_diff <= tolerance
             and self.cost_rel_diff <= tolerance
+            and self.staleness_rel_diff <= tolerance
         )
 
     def summary(self) -> str:
-        return (
+        text = (
             f"hit rate: event {self._mean(self.event_hit_rates):.4f} vs "
             f"fast {self._mean(self.fast_hit_rates):.4f} "
             f"({100 * self.hit_rate_rel_diff:.2f}% off); "
             f"total msgs: event {self._mean(self.event_costs):.0f} vs "
             f"fast {self._mean(self.fast_costs):.0f} "
-            f"({100 * self.cost_rel_diff:.2f}% off); "
-            f"speedup {self.speedup:.1f}x"
+            f"({100 * self.cost_rel_diff:.2f}% off)"
         )
+        if self.event_staleness or self.fast_staleness:
+            text += (
+                f"; staleness: event {self._mean(self.event_staleness):.4f} "
+                f"vs fast {self._mean(self.fast_staleness):.4f} "
+                f"({100 * self.staleness_rel_diff:.2f}% off)"
+            )
+        if self.availability is not None:
+            text += f"; availability {self.availability:g}"
+        return text + f"; speedup {self.speedup:.1f}x"
 
     def to_figure(self):
         """The agreement as a :class:`~repro.experiments.figures.FigureSeries`
@@ -231,6 +569,15 @@ class EngineAgreement:
         experiment payload."""
         from repro.experiments.figures import FigureSeries
 
+        series = {
+            "event hit rate": list(self.event_hit_rates),
+            "fast hit rate": list(self.fast_hit_rates),
+            "event total msgs": list(self.event_costs),
+            "fast total msgs": list(self.fast_costs),
+        }
+        if self.event_staleness or self.fast_staleness:
+            series["event stale fraction"] = list(self.event_staleness)
+            series["fast stale fraction"] = list(self.fast_staleness)
         return FigureSeries(
             name=(
                 f"Engine agreement - event vs vectorized "
@@ -239,12 +586,7 @@ class EngineAgreement:
             ),
             x_label="seed",
             x_values=[str(seed) for seed in self.seeds],
-            series={
-                "event hit rate": list(self.event_hit_rates),
-                "fast hit rate": list(self.fast_hit_rates),
-                "event total msgs": list(self.event_costs),
-                "fast total msgs": list(self.fast_costs),
-            },
+            series=series,
             notes=self.summary(),
         )
 
@@ -292,4 +634,191 @@ def compare_engines(
         agreement.fast_seconds += time.perf_counter() - started
         agreement.fast_hit_rates.append(fast_report.hit_rate)
         agreement.fast_costs.append(fast_report.total_messages)
+    return agreement
+
+
+def compare_engines_churn(
+    params: ScenarioParameters,
+    availability: float,
+    config: Optional[PdhtConfig] = None,
+    duration: float = 240.0,
+    seeds: Sequence[int] = (0, 1, 2),
+    mean_session: float = 1800.0,
+    costs: Optional[PerOpCosts] = None,
+    churn_costs: Optional[ChurnOpCosts] = None,
+) -> EngineAgreement:
+    """Run the selection algorithm under churn through both engines.
+
+    The event engine runs :class:`~repro.pdht.strategies.PartialSelectionStrategy`
+    with a real :class:`~repro.net.churn.ChurnProcess`; the kernel runs
+    with the availability-dependent cost model (calibrated via
+    :func:`churn_costs_for` unless given). Agreement on hit rate *and*
+    total cost is the acceptance bar that lifted the churn engine gate.
+    """
+    if not seeds:
+        raise ParameterError("need at least one seed")
+    churn = churn_config_for_availability(availability, mean_session)
+    if churn is None:
+        raise ParameterError(
+            "compare_engines_churn needs availability < 1; "
+            "use compare_engines for the churn-free comparison"
+        )
+    config = config or PdhtConfig.from_scenario(params)
+    if costs is None:
+        costs = calibrate_costs(params, config)
+    agreement = EngineAgreement(
+        params=params,
+        duration=duration,
+        seeds=tuple(seeds),
+        availability=availability,
+    )
+    for seed in seeds:
+        started = time.perf_counter()
+        event_report = PartialSelectionStrategy(
+            params, config=config, seed=seed, churn=churn
+        ).run(duration)
+        agreement.event_seconds += time.perf_counter() - started
+        agreement.event_hit_rates.append(event_report.hit_rate)
+        agreement.event_costs.append(event_report.total_messages)
+
+        # Resolve the churn cost model before starting the fast timer:
+        # below the calibration limit it runs an event-engine probe, and
+        # `speedup` should measure the simulation, not the (cached,
+        # one-off) calibration.
+        seed_churn_costs = churn_costs or churn_costs_for(
+            params, config, costs.num_active_peers, churn, costs, seed=seed
+        )
+        started = time.perf_counter()
+        fast_report = run_fastsim(
+            params,
+            config=config,
+            duration=duration,
+            seed=seed,
+            churn=churn,
+            costs=costs,
+            churn_costs=seed_churn_costs,
+        )
+        agreement.fast_seconds += time.perf_counter() - started
+        agreement.fast_hit_rates.append(fast_report.hit_rate)
+        agreement.fast_costs.append(fast_report.total_messages)
+    return agreement
+
+
+def staleness_probe_event(
+    params: ScenarioParameters,
+    config: PdhtConfig,
+    duration: float,
+    refresh_period: float,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Event-engine staleness measurement: ``(stale fraction, hit rate)``.
+
+    Publishes versioned payloads, refreshes all content every
+    ``refresh_period`` rounds, drives the scenario's Zipf query stream
+    through :meth:`~repro.pdht.network.PdhtNetwork.query` and counts the
+    index hits whose payload predates the last refresh — the inner loop
+    ``figures.staleness_experiment`` historically ran inline, factored
+    here so figure generation and cross-engine checks share it.
+    """
+    from repro.workload.queries import ZipfQueryWorkload
+
+    if refresh_period <= 0 or duration <= 0:
+        raise ParameterError("duration and refresh_period must be > 0")
+    zipf = ZipfDistribution(params.n_keys, params.alpha)
+    net = PdhtNetwork(params, config, seed=seed)
+    versions = {}
+    for i in range(params.n_keys):
+        versions[i] = 0
+        net.publish(f"key-{i:06d}", (i, 0))
+    workload = ZipfQueryWorkload(zipf, net.streams.get("staleness-queries"))
+    rate = params.network_query_rate
+    rng = net.streams.get("staleness-counts")
+
+    hits = stale_hits = queries = 0
+    next_refresh = refresh_period
+    for _ in range(int(duration)):
+        net.advance(1.0)
+        now = net.simulation.now
+        if now >= next_refresh:
+            for i in range(params.n_keys):
+                versions[i] += 1
+                net.refresh_content(f"key-{i:06d}", (i, versions[i]))
+            next_refresh += refresh_period
+        for event in workload.draw(now, int(rng.poisson(rate))):
+            key_index = event.key_index
+            outcome = net.query(
+                net.random_online_peer(), f"key-{key_index:06d}"
+            )
+            queries += 1
+            if outcome.via_index:
+                hits += 1
+                _, version = outcome.value
+                if version != versions[key_index]:
+                    stale_hits += 1
+    return (
+        stale_hits / hits if hits else 0.0,
+        hits / queries if queries else 0.0,
+    )
+
+
+def staleness_probe_fast(
+    params: ScenarioParameters,
+    config: PdhtConfig,
+    duration: float,
+    refresh_period: float,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Kernel staleness measurement: ``(stale fraction, hit rate)``.
+
+    The kernel tracks payload/indexed versions as batch state, so this is
+    one :func:`run_fastsim` call with ``content_refresh_period`` set.
+    """
+    report = run_fastsim(
+        params,
+        config=config,
+        duration=duration,
+        seed=seed,
+        content_refresh_period=refresh_period,
+    )
+    return report.stale_hit_fraction, report.hit_rate
+
+
+def compare_engines_staleness(
+    params: ScenarioParameters,
+    config: Optional[PdhtConfig] = None,
+    duration: float = 300.0,
+    refresh_period: float = 100.0,
+    seeds: Sequence[int] = (0, 1, 2),
+    ttl_factor: float = 1.0,
+) -> EngineAgreement:
+    """Measure the staleness experiment through both engines and compare.
+
+    Agreement on the stale hit fraction (alongside hit rate) is the
+    acceptance bar that lifted the staleness engine gate.
+    """
+    if not seeds:
+        raise ParameterError("need at least one seed")
+    if ttl_factor <= 0:
+        raise ParameterError(f"ttl_factor must be > 0, got {ttl_factor}")
+    config = config or PdhtConfig.from_scenario(params)
+    config = config.with_ttl(config.key_ttl * ttl_factor)
+    agreement = EngineAgreement(
+        params=params, duration=duration, seeds=tuple(seeds)
+    )
+    for seed in seeds:
+        started = time.perf_counter()
+        stale, hit_rate = staleness_probe_event(
+            params, config, duration, refresh_period, seed=seed
+        )
+        agreement.event_seconds += time.perf_counter() - started
+        agreement.event_staleness.append(stale)
+        agreement.event_hit_rates.append(hit_rate)
+
+        started = time.perf_counter()
+        stale, hit_rate = staleness_probe_fast(
+            params, config, duration, refresh_period, seed=seed
+        )
+        agreement.fast_seconds += time.perf_counter() - started
+        agreement.fast_staleness.append(stale)
+        agreement.fast_hit_rates.append(hit_rate)
     return agreement

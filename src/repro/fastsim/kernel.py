@@ -22,16 +22,31 @@ Faithfulness to :class:`~repro.pdht.network.PdhtNetwork` (Section 5.1):
   (:meth:`PerOpCosts.analytical`) or measured off a real event-engine
   substrate (:func:`repro.fastsim.compare.calibrate_costs`).
 
-Approximations (documented, all second-order without churn): under churn
-the kernel charges an extra replica flood on a ``1 - availability``
-fraction of hits (responsible-peer turnover) and resolves broadcasts with
-the replica-availability bound ``1 - (1 - a)^repl`` instead of walking the
-overlay graph. Churn *cost* is therefore an underestimate — the event
-engine's walks lengthen (and sometimes exhaust their TTL) through an
-offline-laden overlay, which a fixed per-walk charge cannot capture — so
-churn dynamics (hit rate, liveness) are usable but churn cost figures
-must come from the event engine (``churn_experiment`` enforces this; see
-ROADMAP "churn fidelity").
+Churn runs against an availability-dependent per-operation cost model
+(:class:`~repro.fastsim.churncosts.ChurnOpCosts`): broadcast walks charge
+their *measured* resolved/failed costs through the online overlay
+(lengthened walks, TTL exhaustion through fragmented components), floods
+charge what actually propagates through the online part of the replica
+group, a calibrated fraction of hits pays the responsible-peer-turnover
+flood, a calibrated fraction of live-key queries misses outright, and
+resolution draws a per-round replica-availability vector
+(Binomial(repl, instantaneous online fraction)) combined with the
+measured walk-failure probability. Below
+:data:`~repro.fastsim.compare.CALIBRATION_LIMIT` peers the model is
+measured off a churned event-engine substrate
+(:func:`~repro.fastsim.compare.calibrate_churn_costs`); beyond it the
+structural Monte-Carlo estimators of :mod:`repro.fastsim.churncosts`
+take over — the same calibrated-then-analytical split ``costs_for``
+uses. Walk costs are charged in expectation over the resolution draw
+(Rao-Blackwellised), so kernel cost totals carry no resolution-sampling
+noise on top of the event engine's.
+
+Staleness is first-class batch state: every key carries a payload
+version (bumped by owner refreshes, ``content_refresh_period`` or
+:meth:`FastSimState.bump_versions`) and an indexed version captured on
+(re-)insert; hits served from an entry whose indexed version lags count
+into :attr:`FastSimReport.stale_hits` — the same staleness distribution
+``figures.staleness_experiment`` measures from event traces.
 """
 
 from __future__ import annotations
@@ -49,6 +64,7 @@ from repro.analysis.selection_model import SelectionModel
 from repro.analysis.threshold import solve_threshold
 from repro.errors import ParameterError
 from repro.fastsim.churn import BatchChurnProcess
+from repro.fastsim.churncosts import ChurnOpCosts
 from repro.fastsim.metrics import FastSimReport, WindowRecorder
 from repro.fastsim.state import FastSimState
 from repro.fastsim.workload import BatchWorkload, BatchZipfWorkload
@@ -227,6 +243,17 @@ class FastSimKernel:
         real event-engine substrate up to
         :data:`~repro.fastsim.compare.CALIBRATION_LIMIT` peers and uses
         the analytical Eq. 6-8/16 costs beyond.
+    churn_costs:
+        Optional :class:`~repro.fastsim.churncosts.ChurnOpCosts`; only
+        meaningful with churn. The default policy
+        (:func:`repro.fastsim.compare.churn_costs_for`) measures the
+        availability-dependent costs off a churned event-engine
+        substrate below the calibration limit and falls back to the
+        structural Monte-Carlo estimators beyond.
+    content_refresh_period:
+        Refresh all content every this many rounds (bumps every key's
+        payload version, like the Section 4 scenario's daily article
+        replacement), driving the staleness measurement.
     """
 
     def __init__(
@@ -238,6 +265,8 @@ class FastSimKernel:
         workload: Optional[BatchWorkload] = None,
         churn: Optional[ChurnConfig] = None,
         costs: Optional[PerOpCosts] = None,
+        churn_costs: Optional[ChurnOpCosts] = None,
+        content_refresh_period: Optional[float] = None,
     ) -> None:
         if strategy not in STRATEGIES:
             raise ParameterError(
@@ -293,9 +322,38 @@ class FastSimKernel:
         # (ChurnProcess.start returns immediately), so treat it as absent
         # and charge no churn surcharges.
         self.churn: Optional[BatchChurnProcess] = None
+        self.churn_costs: Optional[ChurnOpCosts] = None
         if churn is not None and churn.enabled:
             self.churn = BatchChurnProcess(churn, self._rng_churn)
             self.churn.initialise(self.state.online)
+            if churn_costs is None:
+                # Imported lazily, like costs_for above. The calibration
+                # runs at the kernel's own seed: churn per-op costs are
+                # substrate-realisation properties (which hot keys'
+                # responsible members churn), and PdhtNetwork(seed) is
+                # exactly the substrate + churn trajectory the event
+                # engine would run at this seed.
+                from repro.fastsim.compare import churn_costs_for
+
+                churn_costs = churn_costs_for(
+                    params,
+                    self.config,
+                    num_members,
+                    self.churn.config,
+                    base=self.costs,
+                    seed=seed,
+                )
+            self.churn_costs = churn_costs
+
+        if content_refresh_period is not None and content_refresh_period <= 0:
+            raise ParameterError(
+                f"content_refresh_period must be > 0, "
+                f"got {content_refresh_period}"
+            )
+        self.content_refresh_period = content_refresh_period
+        self._next_refresh = (
+            content_refresh_period if content_refresh_period else None
+        )
 
         #: End-of-round hooks ``hook(kernel, now)`` (adaptive TTL, probes).
         self.on_round: list[Callable[["FastSimKernel", float], None]] = []
@@ -341,15 +399,26 @@ class FastSimKernel:
             now = self.now
             if self.churn is not None:
                 report.churn_transitions += self.churn.step(self.state.online)
-            member_fraction = (
-                self.state.online_member_fraction()
-                if self.churn is not None
-                else 1.0
-            )
+            if self._next_refresh is not None and now >= self._next_refresh:
+                # Content refresh before the round's queries, matching the
+                # event-engine staleness loop (advance -> refresh -> query).
+                self.state.bump_versions()
+                report.content_refreshes += 1
+                self._next_refresh += self.content_refresh_period
             if self.strategy != "noIndex":
-                totals[MessageCategory.MAINTENANCE] += (
-                    self.costs.maintenance_per_round * member_fraction
-                )
+                if self.churn_costs is not None:
+                    # The calibrated rate holds at the stationary
+                    # availability; scale it to the instantaneous online
+                    # member fraction so transients show up immediately.
+                    totals[MessageCategory.MAINTENANCE] += (
+                        self.churn_costs.maintenance_per_round
+                        * self.state.online_member_fraction()
+                        / self.churn_costs.availability
+                    )
+                else:
+                    totals[MessageCategory.MAINTENANCE] += (
+                        self.costs.maintenance_per_round
+                    )
 
             count = int(counts[i])
             ranks, keys = self.workload.draw_round(now, count)
@@ -409,18 +478,18 @@ class FastSimKernel:
         report.queries += count
         if self.strategy == "noIndex":
             # Every query broadcast; no DHT, no gateway traffic.
-            resolved = self._resolved_count(count)
+            resolved_mask, p_resolve = self._resolve_draws(count)
+            resolved = int(resolved_mask.sum())
             report.answered += resolved
-            totals[MessageCategory.UNSTRUCTURED_SEARCH] += (
-                self.costs.walk * count
-            )
+            self._charge_walks(count, p_resolve, totals)
             report.unresolved += count - resolved
             return count, 0
         if self.strategy == "indexAll":
-            # Every key pre-indexed with infinite TTL: all hits.
+            # Every key pre-indexed with infinite TTL at *every* replica
+            # group member (preloading), so even under churn the rerouted
+            # responsible answers directly: all hits, no flood traffic.
             self._charge_gateways(self._draw_origins(count), totals, report)
-            totals[MessageCategory.INDEX_SEARCH] += self.costs.lookup * count
-            self._charge_churn_hit_floods(count, totals)
+            totals[MessageCategory.INDEX_SEARCH] += self._lookup_cost * count
             report.index_hits += count
             report.answered += count
             return count, count
@@ -431,12 +500,10 @@ class FastSimKernel:
             self._charge_gateways(
                 self._draw_origins(count)[indexed], totals, report
             )
-            totals[MessageCategory.INDEX_SEARCH] += self.costs.lookup * hits
-            self._charge_churn_hit_floods(hits, totals)
-            resolved = self._resolved_count(misses)
-            totals[MessageCategory.UNSTRUCTURED_SEARCH] += (
-                self.costs.walk * misses
-            )
+            totals[MessageCategory.INDEX_SEARCH] += self._lookup_cost * hits
+            resolved_mask, p_resolve = self._resolve_draws(misses)
+            resolved = int(resolved_mask.sum())
+            self._charge_walks(misses, p_resolve, totals)
             report.index_hits += hits
             report.answered += hits + resolved
             report.unresolved += misses - resolved
@@ -456,6 +523,15 @@ class FastSimKernel:
         self._charge_gateways(self._draw_origins(count), totals, report)
 
         live = state.live_mask(keys, now)
+        cc = self.churn_costs
+        if cc is not None and cc.turnover_miss > 0.0:
+            # Responsible-peer turnover: a query for a live key can still
+            # miss when the entry sits behind offline members; the event
+            # engine then walks and re-inserts it like any other miss.
+            demoted = live & (
+                self._rng_resolve.random(count) < cc.turnover_miss
+            )
+            live &= ~demoted
         hit_keys = keys[live]
         miss_keys = keys[~live]
         unique_miss, multiplicity = np.unique(miss_keys, return_counts=True)
@@ -463,17 +539,24 @@ class FastSimKernel:
         if self.key_ttl > 0:
             # First occurrence of a missing key misses; once its broadcast
             # resolves and re-inserts it, the round's later duplicates hit.
-            resolved_mask = self._resolved_mask(unique_miss.size)
+            resolved_mask, p_resolve = self._resolve_draws(unique_miss.size)
             duplicate_hits = int((multiplicity[resolved_mask] - 1).sum())
             miss_events = int(resolved_mask.sum()) + int(
                 multiplicity[~resolved_mask].sum()
             )
             inserts = unique_miss[resolved_mask]
             hits = int(live.sum()) + duplicate_hits
+            report.stale_hits += state.stale_count(hit_keys)
             # Per-occurrence miss attribution: a resolved key misses only
             # on its first occurrence (later duplicates hit), an
             # unresolved key misses on every occurrence.
             miss_weights = np.where(resolved_mask, 1, multiplicity)
+            # Expected walk messages per unique missing key over the
+            # resolution draw (Rao-Blackwellised; see _charge_walks):
+            # resolve -> one resolved walk, fail -> every occurrence
+            # re-walks and exhausts.
+            walk_events = multiplicity
+            walk_p = p_resolve
         else:
             # Degenerate keyTtl = 0: TtlKeyStore resets a hit entry's
             # expiry to ``now``, so an entry still live from an earlier
@@ -486,13 +569,16 @@ class FastSimKernel:
             report.reinsertions += int(hit_keys.size - unique_live.size)
             miss_events = miss_keys.size + int(hit_keys.size - unique_live.size)
             hit_keys = unique_live
-            resolved_mask = self._resolved_mask(miss_events)
+            resolved_mask, p_resolve = self._resolve_draws(miss_events)
             occurrences = np.concatenate(
                 [miss_keys, np.repeat(unique_live, live_counts - 1)]
             )
             inserts = occurrences[resolved_mask]
             hits = unique_live.size
+            report.stale_hits += state.stale_count(unique_live)
             miss_weights = multiplicity  # every occurrence misses
+            walk_events = np.ones(miss_events, dtype=np.int64)
+            walk_p = p_resolve
 
         # In both TTL regimes insertions == number of resolved broadcasts.
         insertions = inserts.size
@@ -506,10 +592,12 @@ class FastSimKernel:
             report.reinsertions += int(miss_weights[ever].sum())
             report.cold_misses += int(miss_weights[~ever].sum())
 
-        # State transitions: hits rearm, resolved misses (re)insert.
+        # State transitions: hits rearm, resolved misses (re)insert — and
+        # a re-insert always fetches the *current* content version.
         if self.key_ttl > 0:
             state.refresh(hit_keys, now, self.key_ttl)
             state.refresh(inserts, now, self.key_ttl)
+        state.capture_versions(inserts)
         state.ever_indexed[inserts] = True
         np.add.at(state.key_hits, hit_keys, 1)
         if self.key_ttl > 0:
@@ -520,16 +608,34 @@ class FastSimKernel:
         np.add.at(state.key_insertions, inserts, 1)
 
         # Cost accounting (Section 5.1 / Eq. 17 event-for-event).
-        totals[MessageCategory.INDEX_SEARCH] += self.costs.lookup * (
-            count + insertions
-        )
-        totals[MessageCategory.REPLICA_FLOOD] += self.costs.flood * (
-            miss_events + insertions
-        )
-        self._charge_churn_hit_floods(hits, totals)
-        totals[MessageCategory.UNSTRUCTURED_SEARCH] += (
-            self.costs.walk * miss_events
-        )
+        if cc is None:
+            totals[MessageCategory.INDEX_SEARCH] += self.costs.lookup * (
+                count + insertions
+            )
+            totals[MessageCategory.REPLICA_FLOOD] += self.costs.flood * (
+                miss_events + insertions
+            )
+            totals[MessageCategory.UNSTRUCTURED_SEARCH] += (
+                self.costs.walk * miss_events
+            )
+        else:
+            totals[MessageCategory.INDEX_SEARCH] += (
+                cc.lookup * count + cc.miss_lookup * insertions
+            )
+            totals[MessageCategory.REPLICA_FLOOD] += (
+                cc.miss_flood * miss_events
+                + cc.insert_flood * insertions
+                + cc.hit_flood_fraction * cc.hit_flood * hits
+            )
+            # Expected walk messages over the resolution draw: a resolved
+            # key pays one resolved walk, an unresolved one re-walks and
+            # exhausts on every occurrence.
+            totals[MessageCategory.UNSTRUCTURED_SEARCH] += float(
+                (
+                    walk_p * cc.resolved_walk
+                    + (1.0 - walk_p) * walk_events * cc.failed_walk
+                ).sum()
+            )
 
         report.index_hits += hits
         report.insertions += insertions
@@ -585,29 +691,61 @@ class FastSimKernel:
                 per_discovery /= availability
             totals[MessageCategory.MEMBERSHIP] += per_discovery * discoveries
 
-    def _charge_churn_hit_floods(
-        self, hits: int, totals: dict[MessageCategory, float]
-    ) -> None:
-        """Under churn, responsible-peer turnover makes a fraction of hits
-        pay the replica flood before a live replica answers."""
-        if self.churn is None or hits == 0:
-            return
-        stale_fraction = 1.0 - self.churn.availability
-        totals[MessageCategory.REPLICA_FLOOD] += (
-            self.costs.flood * stale_fraction * hits
-        )
+    @property
+    def _lookup_cost(self) -> float:
+        """Per-lookup messages, availability-adjusted under churn."""
+        if self.churn_costs is not None:
+            return self.churn_costs.lookup
+        return self.costs.lookup
 
-    def _resolved_mask(self, count: int) -> np.ndarray:
-        """Which broadcasts find the key (replica-availability bound)."""
+    def _resolve_draws(self, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """Sample which broadcasts find the key; returns ``(mask, p)``.
+
+        Without churn every search resolves (the paper's broadcast "finds
+        any key if it exists"). Under churn each search first draws its
+        replica-availability vector — how many of the key's ``repl``
+        content replicas are online this round — and fails outright at
+        zero; otherwise it fails with the calibrated walk-failure
+        probability (walkers trapped in an online component without a
+        holder). ``p`` is the per-event resolution probability, reused to
+        charge walk costs in expectation.
+        """
         if count == 0:
-            return np.zeros(0, dtype=bool)
+            empty = np.zeros(0)
+            return empty.astype(bool), empty
         if self.churn is None:
-            return np.ones(count, dtype=bool)
-        p = 1.0 - (1.0 - self.churn.availability) ** self.config.replication
-        return self._rng_resolve.random(count) < p
+            return np.ones(count, dtype=bool), np.ones(count)
+        online_replicas = self.churn.replica_online_counts(
+            count, self.config.replication, self._rng_resolve
+        )
+        conditional = (
+            1.0 - self.churn_costs.walk_failure
+            if self.churn_costs is not None
+            else 1.0
+        )
+        p = np.where(online_replicas > 0, conditional, 0.0)
+        return self._rng_resolve.random(count) < p, p
 
-    def _resolved_count(self, count: int) -> int:
-        return int(self._resolved_mask(count).sum())
+    def _charge_walks(
+        self,
+        count: int,
+        p_resolve: np.ndarray,
+        totals: dict[MessageCategory, float],
+    ) -> None:
+        """Charge ``count`` broadcast searches, expectation over resolution."""
+        if count == 0:
+            return
+        if self.churn_costs is None:
+            totals[MessageCategory.UNSTRUCTURED_SEARCH] += (
+                self.costs.walk * count
+            )
+            return
+        cc = self.churn_costs
+        expected_resolved = float(p_resolve.sum())
+        totals[MessageCategory.UNSTRUCTURED_SEARCH] += (
+            expected_resolved * cc.resolved_walk
+            + (count - expected_resolved) * cc.failed_walk
+        )
 
     def _reported_index_size(self, now: float) -> int:
         if self.strategy == "indexAll":
@@ -628,6 +766,8 @@ def run_fastsim(
     workload: Optional[BatchWorkload] = None,
     churn: Optional[ChurnConfig] = None,
     costs: Optional[PerOpCosts] = None,
+    churn_costs: Optional[ChurnOpCosts] = None,
+    content_refresh_period: Optional[float] = None,
     window: float = 0.0,
 ) -> FastSimReport:
     """Build a :class:`FastSimKernel` and run it — the one-call fast path."""
@@ -639,5 +779,7 @@ def run_fastsim(
         workload=workload,
         churn=churn,
         costs=costs,
+        churn_costs=churn_costs,
+        content_refresh_period=content_refresh_period,
     )
     return kernel.run(duration, window=window)

@@ -69,6 +69,11 @@ class FastSimReport(StrategyReport):
     unresolved: int = 0
     gateway_discoveries: int = 0
     churn_transitions: int = 0
+    #: Index hits whose payload version predated the key's latest content
+    #: refresh (the staleness experiment's numerator).
+    stale_hits: int = 0
+    #: Content-refresh sweeps applied by ``content_refresh_period``.
+    content_refreshes: int = 0
     key_ttl: float = 0.0
     final_index_size: int = 0
     #: Wall-clock seconds the kernel spent (for speedup reporting).
@@ -81,6 +86,13 @@ class FastSimReport(StrategyReport):
         if self.elapsed_seconds <= 0:
             return 0.0
         return self.queries / self.elapsed_seconds
+
+    @property
+    def stale_hit_fraction(self) -> float:
+        """Fraction of index hits that served an outdated payload."""
+        if self.index_hits == 0:
+            return 0.0
+        return self.stale_hits / self.index_hits
 
     # ------------------------------------------------------------------
     def to_strategy_report(self) -> StrategyReport:
@@ -102,6 +114,7 @@ class FastSimReport(StrategyReport):
             "queries": self.queries,
             "hit_rate": self.hit_rate,
             "success_rate": self.success_rate,
+            "stale_hit_fraction": self.stale_hit_fraction,
             "messages_per_second": self.messages_per_second,
             "mean_index_size": self.mean_index_size,
             "elapsed_seconds": self.elapsed_seconds,

@@ -67,6 +67,17 @@ class FastSimState:
         self.key_misses = np.zeros(n_keys, dtype=np.int64)
         self.key_insertions = np.zeros(n_keys, dtype=np.int64)
 
+        # --- per-key content plane ------------------------------------
+        #: Version of the key's *content* replicas (bumped by owner
+        #: updates / refreshes; the paper's Section 4 scenario replaces
+        #: every article periodically).
+        self.payload_version = np.zeros(n_keys, dtype=np.int64)
+        #: Version an index hit serves: the payload version captured when
+        #: the entry was (re-)inserted after a broadcast search. Without
+        #: proactive updates it lags ``payload_version`` — that lag is
+        #: exactly what the staleness experiment measures.
+        self.indexed_version = np.zeros(n_keys, dtype=np.int64)
+
         # --- per-peer plane -------------------------------------------
         self.online = np.ones(num_peers, dtype=bool)
         #: Peers that already discovered a gateway (first index-path query
@@ -99,6 +110,30 @@ class FastSimState:
     def drop_all(self) -> None:
         """Empty the index (e.g. a keyTtl-0 degenerate run)."""
         self.expires_at.fill(-np.inf)
+
+    # ------------------------------------------------------------------
+    def bump_versions(self, keys: np.ndarray | None = None) -> None:
+        """Refresh content: bump the payload version of ``keys`` (all keys
+        when None), mirroring :meth:`~repro.pdht.network.PdhtNetwork.refresh_content`.
+        Index entries are *not* touched — the selection algorithm has no
+        proactive updates, so stale entries keep serving old versions."""
+        if keys is None:
+            self.payload_version += 1
+        else:
+            self.payload_version[keys] += 1
+
+    def capture_versions(self, keys: np.ndarray) -> None:
+        """Record that ``keys`` were (re-)inserted with current content
+        (a resolved broadcast search always fetches the live replicas)."""
+        self.indexed_version[keys] = self.payload_version[keys]
+
+    def stale_count(self, keys: np.ndarray) -> int:
+        """How many of these hit occurrences served an outdated payload."""
+        if keys.size == 0:
+            return 0
+        return int(
+            (self.indexed_version[keys] != self.payload_version[keys]).sum()
+        )
 
     # ------------------------------------------------------------------
     def online_count(self) -> int:

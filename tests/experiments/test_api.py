@@ -38,13 +38,27 @@ class TestSpecsAndRegistry:
 
     def test_gated_specs_carry_reasons(self):
         for name, engines in (
-            ("churn", ("event",)),
-            ("staleness", ("event",)),
             ("sweep", ("vectorized",)),
+            ("sweep-optimal", ("vectorized",)),
         ):
             spec = get_spec(name)
             assert spec.engines == engines
             assert spec.gate_reason
+
+    def test_no_experiment_is_event_only(self):
+        # PR 3 lifted the last engine gates: every simulated experiment
+        # either supports both engines or is vectorized-only (paper-scale
+        # sweeps); nothing is locked to the event engine any more.
+        for spec in REGISTRY.values():
+            if spec.kind == SIMULATED:
+                assert spec.engines != ("event",), spec.name
+
+    def test_churn_and_staleness_support_both_engines(self):
+        for name in ("churn", "staleness"):
+            spec = get_spec(name)
+            assert spec.engines == ("event", "vectorized")
+            assert not spec.gate_reason
+            assert spec.supports("vectorized")
 
     def test_unknown_name_rejected(self):
         with pytest.raises(ParameterError, match="unknown experiment"):
@@ -92,15 +106,11 @@ class TestSpecsAndRegistry:
 
 
 class TestCapabilityGating:
-    def test_gated_experiment_rejects_unsupported_engine(self):
-        with pytest.raises(CapabilityError, match="churn cost model"):
-            run("churn", engine="vectorized", duration=10.0)
-        with pytest.raises(CapabilityError, match="payload versions"):
-            run("staleness", engine="vectorized", duration=10.0)
-
     def test_sweep_rejects_event_engine(self):
         with pytest.raises(CapabilityError, match="vectorized"):
             run("sweep", engine="event", duration=10.0)
+        with pytest.raises(CapabilityError, match="vectorized"):
+            run("sweep-optimal", engine="event", duration=10.0)
 
     def test_capability_error_is_a_parameter_error(self):
         # Old callers catching ParameterError keep working.
@@ -237,9 +247,6 @@ class TestCli:
             self._main(["all", "fig99"])
 
     def test_gated_engine_request_exits_nonzero_with_reason(self, capsys):
-        assert self._main(["churn", "--engine", "vectorized"]) == 2
-        err = capsys.readouterr().err
-        assert "churn cost model" in err
         assert self._main(["sweep", "--engine", "event"]) == 2
         err = capsys.readouterr().err
         assert "vectorized" in err
@@ -327,49 +334,64 @@ class TestCli:
         assert "400 peers" in out
 
 
-class TestDeprecatedShim:
-    def test_access_warns(self):
-        from repro.experiments.runner import EXPERIMENTS
+class TestShimRemoved:
+    def test_runner_no_longer_exports_experiments_dict(self):
+        # The deprecated pre-registry shim is gone (ROADMAP follow-up);
+        # the registry is the only experiment surface.
+        import repro.experiments.runner as runner
 
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            EXPERIMENTS["table1"]
+        assert not hasattr(runner, "EXPERIMENTS")
+        assert runner.__all__ == ["main"]
 
-    def test_keys_cover_legacy_names(self):
-        from repro.experiments.runner import EXPERIMENTS
 
-        assert {"optimal", "churn", "staleness", "sim", "simfig1"} <= set(
-            EXPERIMENTS
+class TestReplicates:
+    def test_replicated_run_carries_per_seed_values_and_ci(self):
+        result = run(
+            "sim",
+            engine="vectorized",
+            duration=30.0,
+            scale=0.02,
+            seed=5,
+            replicates=3,
         )
-        assert len(EXPERIMENTS) == len(experiment_names())
+        assert result.replication is not None
+        assert result.replication["seeds"] == [5, 6, 7]
+        assert result.replication["confidence"] == 0.95
+        per_seed = result.replication["per_seed"]
+        assert set(per_seed) >= {"hit rate", "simulated [msg/s]"}
+        assert len(per_seed["hit rate"]) == 3
+        # The figure holds seed means plus ci95 half-width series.
+        assert "hit rate" in result.figure.series
+        assert "hit rate ci95" in result.figure.series
+        means = result.figure.series_of("hit rate")
+        for i, mean in enumerate(means):
+            samples = [per_seed["hit rate"][s][i] for s in range(3)]
+            assert mean == pytest.approx(sum(samples) / 3)
+        assert all(hw >= 0 for hw in result.figure.series_of("hit rate ci95"))
+        assert result.parameters["replicates"] == 3
 
-    def test_analytical_callable_ignores_engine(self):
-        from repro.experiments.runner import EXPERIMENTS
+    def test_single_replicate_behaves_like_plain_run(self):
+        result = run(
+            "sim", engine="vectorized", duration=30.0, scale=0.02,
+            replicates=1,
+        )
+        assert result.replication is None
+        assert "hit rate ci95" not in result.figure.series
 
-        with pytest.warns(DeprecationWarning):
-            render = EXPERIMENTS["table1"]
-        assert "Table 1" in render("vectorized")
+    def test_invalid_replicates_rejected(self):
+        with pytest.raises(ParameterError, match="replicates"):
+            run("sim", engine="vectorized", duration=30.0, replicates=0)
 
-    def test_mapping_contract_for_unknown_names(self):
-        # Old dict semantics: membership tests and .get() must not blow
-        # up on unknown names (Mapping catches KeyError, not ValueError).
-        import warnings
+    def test_replicated_result_round_trips_through_json(self, tmp_path):
+        from repro.experiments.export import load_result_json
 
-        from repro.experiments.runner import EXPERIMENTS
-
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            assert "bogus" not in EXPERIMENTS
-            assert EXPERIMENTS.get("bogus") is None
-            with pytest.raises(KeyError):
-                EXPERIMENTS["bogus"]
-
-    def test_gated_callable_falls_back_with_note(self):
-        # Old behaviour: run the supported engine and prepend a one-line
-        # note rather than failing (the new CLI fails loudly instead).
-        from repro.experiments.runner import EXPERIMENTS
-
-        with pytest.warns(DeprecationWarning):
-            render = EXPERIMENTS["sweep"]
-        output = render("event")
-        assert output.startswith("(sweep runs on the vectorized engine only)")
-        assert "Sweep" in output
+        result = run(
+            "sim",
+            engine="vectorized",
+            duration=30.0,
+            scale=0.02,
+            replicates=2,
+        )
+        restored = load_result_json(result.to_json())
+        assert restored.replication == result.replication
+        assert restored.figure.series == result.figure.series

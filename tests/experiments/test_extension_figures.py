@@ -95,7 +95,28 @@ class TestStalenessExperiment:
 
 
 class TestRunnerExtensions:
-    def test_runner_knows_new_experiments(self):
-        from repro.experiments.runner import EXPERIMENTS
+    def test_registry_knows_new_experiments(self):
+        from repro.experiments.api import experiment_names
 
-        assert {"optimal", "churn", "staleness"} <= set(EXPERIMENTS)
+        assert {"optimal", "churn", "staleness", "sweep", "sweep-optimal"} <= set(
+            experiment_names()
+        )
+
+
+class TestStalenessRefreshPeriodSweep:
+    def test_update_rate_axis_produces_one_series_pair_per_period(self):
+        from repro.experiments.figures import staleness_experiment
+
+        fig = staleness_experiment(
+            params=simulation_scenario(scale=0.02),
+            duration=160.0,
+            ttl_factors=(1.0,),
+            refresh_periods=(40.0, 160.0),
+            engine="vectorized",
+        )
+        assert "stale hit fraction @ refresh 40s" in fig.series
+        assert "stale hit fraction @ refresh 160s" in fig.series
+        # More frequent refreshes make more of the index stale.
+        fast_refresh = fig.series_of("stale hit fraction @ refresh 40s")[0]
+        slow_refresh = fig.series_of("stale hit fraction @ refresh 160s")[0]
+        assert fast_refresh >= slow_refresh

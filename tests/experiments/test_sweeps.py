@@ -1,0 +1,113 @@
+"""Tests for the sweep grid axes (incl. availability) and optimal cells."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments.figures import FigureSeries
+from repro.experiments.scenario import simulation_scenario
+from repro.experiments.sweeps import (
+    GridAxes,
+    GridPoint,
+    optimal_cells,
+    sweep_grid,
+)
+
+
+class TestGridAxes:
+    def test_default_axes_have_no_churn_dimension(self):
+        axes = GridAxes()
+        assert axes.availabilities == (1.0,)
+        assert axes.size == 18
+        labels = [p.label() for p in axes.points()]
+        assert not any("av=" in label for label in labels)
+
+    def test_availability_axis_multiplies_the_grid(self):
+        axes = GridAxes(availabilities=(1.0, 0.5))
+        assert axes.size == 36
+        labels = [p.label() for p in axes.points()]
+        assert sum("av=0.5" in label for label in labels) == 18
+
+    def test_availability_validation(self):
+        with pytest.raises(ParameterError):
+            GridAxes(availabilities=())
+        with pytest.raises(ParameterError):
+            GridAxes(availabilities=(0.0,))
+        with pytest.raises(ParameterError):
+            GridAxes(availabilities=(1.5,))
+
+    def test_slice_label_drops_ttl_axis(self):
+        point = GridPoint(2.0, 1.2, 1 / 600, 0.75)
+        assert point.label() == "2x|a=1.2|1/600|av=0.75"
+        assert point.slice_label() == "a=1.2|1/600|av=0.75"
+
+
+class TestOptimalCells:
+    def _grid_figure(self, axes: GridAxes, costs: dict) -> FigureSeries:
+        points = list(axes.points())
+        return FigureSeries(
+            name="synthetic grid",
+            x_label="keyTtl|alpha|fQry",
+            x_values=[p.label() for p in points],
+            series={
+                "hit rate": [0.5 for _ in points],
+                "msg/s": [costs[(p.ttl_factor, p.alpha)] for p in points],
+                "model msg/s": [1.0 for _ in points],
+                "keyTtl [s]": [10.0 * p.ttl_factor for p in points],
+            },
+        )
+
+    def test_argmin_per_slice(self):
+        axes = GridAxes(
+            ttl_factors=(0.5, 1.0, 2.0),
+            alphas=(0.8, 1.2),
+            query_freqs=(1 / 30,),
+        )
+        # alpha 0.8 is cheapest at factor 2.0, alpha 1.2 at factor 0.5.
+        costs = {
+            (0.5, 0.8): 30.0, (1.0, 0.8): 20.0, (2.0, 0.8): 10.0,
+            (0.5, 1.2): 5.0, (1.0, 1.2): 20.0, (2.0, 1.2): 30.0,
+        }
+        derived = optimal_cells(self._grid_figure(axes, costs), axes)
+        assert len(derived.x_values) == 2  # one per (alpha, fQry) slice
+        best = dict(zip(derived.x_values, derived.series_of("best keyTtl factor")))
+        assert best["a=0.8|1/30"] == 2.0
+        assert best["a=1.2|1/30"] == 0.5
+        mins = dict(zip(derived.x_values, derived.series_of("min msg/s")))
+        assert mins["a=0.8|1/30"] == 10.0
+        assert mins["a=1.2|1/30"] == 5.0
+
+    def test_mismatched_axes_rejected(self):
+        axes = GridAxes(
+            ttl_factors=(0.5, 1.0), alphas=(1.2,), query_freqs=(1 / 30,)
+        )
+        grid = self._grid_figure(
+            axes, {(0.5, 1.2): 1.0, (1.0, 1.2): 2.0}
+        )
+        with pytest.raises(ParameterError, match="cells"):
+            optimal_cells(grid, GridAxes())
+
+
+class TestSweepGridWithChurn:
+    def test_churned_cells_cost_more_than_quiet_ones(self):
+        # A tiny grid at reduced scale: the availability axis must flow
+        # through to the kernel's churn model and show up in the labels.
+        axes = GridAxes(
+            ttl_factors=(1.0,),
+            alphas=(1.2,),
+            query_freqs=(1 / 30,),
+            availabilities=(1.0, 0.75),
+        )
+        fig = sweep_grid(
+            axes,
+            scenario=simulation_scenario(scale=0.02),
+            duration=60.0,
+        )
+        assert len(fig.x_values) == 2
+        assert "av=0.75" in fig.x_values[1]
+        quiet, churned = fig.series_of("msg/s")
+        assert quiet > 0 and churned > 0
+        assert churned != quiet
+        derived = optimal_cells(fig, axes)
+        assert len(derived.x_values) == 2  # availability splits the slice

@@ -351,3 +351,144 @@ class TestAdaptiveTtl:
         payload = report.to_dict()
         assert payload["strategy"] == "partialSelection"
         assert payload["engine"] == "vectorized"
+
+
+class TestStaleness:
+    def test_no_refresh_means_no_stale_hits(self, small_params):
+        report = run_fastsim(small_params, duration=80.0, seed=2)
+        assert report.stale_hits == 0
+        assert report.content_refreshes == 0
+        assert report.stale_hit_fraction == 0.0
+
+    def test_content_refreshes_create_stale_hits(self, small_params):
+        report = run_fastsim(
+            small_params, duration=120.0, seed=2, content_refresh_period=30.0
+        )
+        assert report.content_refreshes == 4
+        assert report.stale_hits > 0
+        assert 0.0 < report.stale_hit_fraction <= 1.0
+        assert report.stale_hits <= report.index_hits
+
+    def test_staleness_grows_with_ttl(self, small_params):
+        config = PdhtConfig.from_scenario(small_params)
+        short = run_fastsim(
+            small_params,
+            config=config.with_ttl(config.key_ttl * 0.25),
+            duration=150.0,
+            seed=2,
+            content_refresh_period=40.0,
+        )
+        long = run_fastsim(
+            small_params,
+            config=config.with_ttl(config.key_ttl * 4.0),
+            duration=150.0,
+            seed=2,
+            content_refresh_period=40.0,
+        )
+        # Longer-lived entries survive more refreshes and serve staler
+        # payloads (the freshness/cost trade-off inside keyTtl).
+        assert long.stale_hit_fraction >= short.stale_hit_fraction
+
+    def test_resolved_misses_serve_fresh_payloads(self, small_params):
+        # keyTtl 0: every hit comes from a just-resolved broadcast whose
+        # re-fetch always carries the current version -> nothing stale.
+        config = PdhtConfig.from_scenario(small_params).with_ttl(0.0)
+        report = run_fastsim(
+            small_params,
+            config=config,
+            duration=100.0,
+            seed=2,
+            content_refresh_period=25.0,
+        )
+        assert report.content_refreshes > 0
+        assert report.stale_hits == 0
+
+    def test_invalid_refresh_period_rejected(self, small_params):
+        with pytest.raises(ParameterError, match="content_refresh_period"):
+            run_fastsim(
+                small_params, duration=10.0, content_refresh_period=0.0
+            )
+
+
+class TestChurnCostModel:
+    def test_kernel_builds_churn_costs_lazily(self, small_params):
+        kernel = FastSimKernel(
+            small_params,
+            seed=1,
+            churn=ChurnConfig(mean_session=600.0, mean_offline=200.0),
+        )
+        assert kernel.churn_costs is not None
+        assert kernel.churn_costs.availability == pytest.approx(0.75)
+        # 200 peers < CALIBRATION_LIMIT: measured off the event substrate.
+        assert kernel.churn_costs.source == "calibrated"
+
+    def test_no_churn_means_no_churn_costs(self, small_params):
+        kernel = FastSimKernel(small_params, seed=1)
+        assert kernel.churn_costs is None
+
+    def test_walk_charges_use_failed_walk_cost(self, small_params):
+        from repro.fastsim.churncosts import ChurnOpCosts
+
+        churn = ChurnConfig(mean_session=600.0, mean_offline=600.0)
+        cheap_failures = ChurnOpCosts(
+            availability=0.5,
+            lookup=2.0,
+            miss_lookup=2.0,
+            hit_flood=10.0,
+            miss_flood=10.0,
+            insert_flood=10.0,
+            resolved_walk=20.0,
+            failed_walk=20.0,
+            walk_failure=0.2,
+            hit_flood_fraction=0.0,
+            turnover_miss=0.0,
+            maintenance_per_round=10.0,
+            num_active_peers=20,
+        )
+        from dataclasses import replace as dc_replace
+
+        expensive_failures = dc_replace(cheap_failures, failed_walk=5000.0)
+        cheap = run_fastsim(
+            small_params, duration=80.0, seed=4, churn=churn,
+            churn_costs=cheap_failures,
+        )
+        pricey = run_fastsim(
+            small_params, duration=80.0, seed=4, churn=churn,
+            churn_costs=expensive_failures,
+        )
+        assert (
+            pricey.messages_by_category[MessageCategory.UNSTRUCTURED_SEARCH]
+            > cheap.messages_by_category[MessageCategory.UNSTRUCTURED_SEARCH]
+        )
+
+    def test_turnover_misses_reduce_hit_rate(self, small_params):
+        from dataclasses import replace as dc_replace
+
+        from repro.fastsim.churncosts import ChurnOpCosts
+
+        churn = ChurnConfig(mean_session=600.0, mean_offline=600.0)
+        base = ChurnOpCosts(
+            availability=0.5,
+            lookup=2.0,
+            miss_lookup=2.0,
+            hit_flood=10.0,
+            miss_flood=10.0,
+            insert_flood=10.0,
+            resolved_walk=20.0,
+            failed_walk=100.0,
+            walk_failure=0.0,
+            hit_flood_fraction=0.0,
+            turnover_miss=0.0,
+            maintenance_per_round=10.0,
+            num_active_peers=20,
+        )
+        turnover = dc_replace(base, turnover_miss=0.3)
+        clean = run_fastsim(
+            small_params, duration=80.0, seed=4, churn=churn,
+            churn_costs=base,
+        )
+        churny = run_fastsim(
+            small_params, duration=80.0, seed=4, churn=churn,
+            churn_costs=turnover,
+        )
+        assert churny.hit_rate < clean.hit_rate

@@ -73,3 +73,26 @@ class TestGatewayDiscovery:
         assert state.online_member_fraction() == 1.0
         state.online[state.is_member] = False
         assert state.online_member_fraction() == 0.0
+
+
+class TestPayloadVersions:
+    def test_versions_start_fresh_and_bump(self, small_params, rng):
+        state = FastSimState(small_params, num_members=4, rng=rng)
+        keys = np.array([0, 1, 2])
+        assert state.stale_count(keys) == 0
+        state.bump_versions()  # refresh all content
+        assert state.stale_count(keys) == 3
+        state.capture_versions(np.array([1]))  # re-insert fetches fresh
+        assert state.stale_count(keys) == 2
+        assert state.stale_count(np.array([1, 1, 1])) == 0  # per occurrence
+
+    def test_partial_bump(self, small_params, rng):
+        state = FastSimState(small_params, num_members=4, rng=rng)
+        state.bump_versions(np.array([5, 7]))
+        assert state.payload_version[5] == 1
+        assert state.payload_version[6] == 0
+        assert state.stale_count(np.array([5, 6, 7])) == 2
+
+    def test_empty_batch(self, small_params, rng):
+        state = FastSimState(small_params, num_members=4, rng=rng)
+        assert state.stale_count(np.empty(0, dtype=np.int64)) == 0

@@ -82,3 +82,154 @@ def test_windowed_hit_rate_series_track_each_other():
     fast_rates = np.array([r for _, r in fast.hit_rate_series])
     assert event_rates.shape == fast_rates.shape
     assert np.abs(event_rates - fast_rates).max() < 0.10
+
+
+# ----------------------------------------------------------------------
+# Churn: the lifted engine gate's acceptance bar (ISSUE 3).
+#
+# The kernel's availability-dependent per-op model (calibrated per seed
+# off the same churned substrate + churn trajectory the event engine
+# runs) must land within 5% of the event engine on seed-averaged hit
+# rate AND total cost across availabilities 0.5-0.9. walk_ttl is bounded
+# so the event engine's exhausted walks stay affordable inside tier-1;
+# the default-TTL exhaustion regime is pinned by the regression test
+# below.
+# ----------------------------------------------------------------------
+CHURN_DURATION = 300.0
+CHURN_WALK_TTL = 96
+
+
+def _churn_agreement(availability: float):
+    from dataclasses import replace
+
+    from repro.fastsim import compare_engines_churn
+
+    params = simulation_scenario(scale=SCALE)
+    config = replace(
+        PdhtConfig.from_scenario(params), walk_ttl=CHURN_WALK_TTL
+    )
+    return compare_engines_churn(
+        params,
+        availability,
+        config=config,
+        duration=CHURN_DURATION,
+        seeds=SEEDS,
+    )
+
+
+@pytest.mark.parametrize("availability", (0.9, 0.5))
+def test_churn_agreement_within_five_percent(availability):
+    agreement = _churn_agreement(availability)
+    assert agreement.hit_rate_rel_diff <= 0.05, agreement.summary()
+    assert agreement.cost_rel_diff <= 0.05, agreement.summary()
+
+
+def test_other_strategies_track_event_engine_under_churn():
+    """The lifted dispatch gate covered *every* figure, so the
+    non-selection strategies' churn paths (noIndex walk charging,
+    indexAll's preloaded no-flood hits, partialIdeal's split path) need
+    their own cross-engine bound — looser than the selection-path 5%
+    (they are not the acceptance bar) but tight enough to catch a broken
+    charge outright."""
+    from dataclasses import replace
+
+    from repro.fastsim import calibrate_costs
+    from repro.fastsim.compare import churn_config_for_availability
+    from repro.pdht.strategies import STRATEGY_CLASSES
+
+    params = simulation_scenario(scale=SCALE)
+    config = replace(PdhtConfig.from_scenario(params), walk_ttl=CHURN_WALK_TTL)
+    costs = calibrate_costs(params, config)
+    churn = churn_config_for_availability(0.5)
+    for name in ("noIndex", "indexAll", "partialIdeal"):
+        event_cost = fast_cost = event_hit = fast_hit = 0.0
+        for seed in (0, 1):
+            event = STRATEGY_CLASSES[name](
+                params, config=config, seed=seed, churn=churn
+            ).run(240.0)
+            fast = run_fastsim(
+                params,
+                config=config,
+                duration=240.0,
+                seed=seed,
+                strategy=name,
+                churn=churn,
+                costs=costs,
+            )
+            event_cost += event.total_messages
+            fast_cost += fast.total_messages
+            event_hit += event.hit_rate
+            fast_hit += fast.hit_rate
+        assert fast_cost == pytest.approx(event_cost, rel=0.12), name
+        assert fast_hit / 2 == pytest.approx(event_hit / 2, abs=0.05), name
+
+
+def test_churn_underestimate_regression():
+    """The ROADMAP's ~7x churn cost underestimate is gone.
+
+    At availability 0.5 with the default (unbounded-ish) walk TTL, the
+    event engine's broadcast walks lengthen and exhaust through the
+    fragmented online overlay; the old kernel charged a flat per-walk
+    cost and missed the unstructured-search bill by two orders of
+    magnitude. The calibrated model must land within +-40% on that
+    category (single seed) — and the flat charge must remain visibly,
+    hugely wrong, so this pins both the fix and the failure mode.
+    """
+    from repro.fastsim import calibrate_churn_costs, calibrate_costs
+    from repro.fastsim.compare import churn_config_for_availability
+    from repro.pdht.strategies import PartialSelectionStrategy
+    from repro.sim.metrics import MessageCategory
+
+    params = simulation_scenario(scale=SCALE)
+    config = PdhtConfig.from_scenario(params)  # default walk_ttl = 4096
+    churn = churn_config_for_availability(0.5)
+    costs = calibrate_costs(params, config)
+    churn_costs = calibrate_churn_costs(
+        params, churn, config, seed=0, rounds=120.0, walk_probes=120
+    )
+
+    event = PartialSelectionStrategy(
+        params, config=config, seed=0, churn=churn
+    ).run(180.0)
+    fast = run_fastsim(
+        params,
+        config=config,
+        duration=180.0,
+        seed=0,
+        churn=churn,
+        costs=costs,
+        churn_costs=churn_costs,
+    )
+    event_walks = event.messages_by_category[
+        MessageCategory.UNSTRUCTURED_SEARCH
+    ]
+    fast_walks = fast.messages_by_category[
+        MessageCategory.UNSTRUCTURED_SEARCH
+    ]
+    # The old model: one flat calibrated walk charge per miss, no
+    # exhaustion. It underestimates by far more than the historical ~7x.
+    flat_charge = costs.walk * (event.queries - event.index_hits)
+    assert event_walks / flat_charge > 7.0
+    assert 0.6 <= fast_walks / event_walks <= 1.6
+    assert 0.7 <= fast.total_messages / event.total_messages <= 1.4
+
+
+# ----------------------------------------------------------------------
+# Staleness: the other lifted gate. The kernel's per-key payload/indexed
+# version counters must reproduce the event engine's stale-hit fraction.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("ttl_factor", (0.25, 1.0))
+def test_staleness_agreement_within_five_percent(ttl_factor):
+    from repro.fastsim import compare_engines_staleness
+
+    params = simulation_scenario(scale=SCALE)
+    agreement = compare_engines_staleness(
+        params,
+        duration=200.0,
+        refresh_period=80.0,
+        seeds=(0, 1),
+        ttl_factor=ttl_factor,
+    )
+    assert agreement.staleness_rel_diff <= 0.05, agreement.summary()
+    assert agreement.hit_rate_rel_diff <= 0.05, agreement.summary()
+    assert agreement.agrees(tolerance=0.05), agreement.summary()
