@@ -16,7 +16,10 @@ under pytest) when any drifts:
   within 5%;
 * churn: hit rate and total cost within 5% of the event engine at
   availabilities 0.9 and 0.5;
-* staleness: stale hit fraction and hit rate within 5%.
+* staleness: stale hit fraction and hit rate within 5%;
+* jobs: the default sweep grid at 100k peers reaches >= 2.5x wall-clock
+  speedup at ``jobs=4`` vs ``jobs=1`` with identical cell values
+  (enforced only on runners with >= 4 CPUs; always recorded).
 
 Standalone::
 
@@ -116,6 +119,56 @@ def _churn_record(availability: float) -> dict[str, object]:
     }
 
 
+#: The jobs scenario's pool size and the speedup it must reach on a
+#: runner with at least that many CPUs.
+JOBS_WORKERS = 4
+JOBS_SPEEDUP_FLOOR = 2.5
+
+
+def _jobs_record() -> dict[str, object]:
+    """Parallel sweep: the default grid, sequential vs a 4-worker pool.
+
+    Runs the ``GridAxes()`` default 18-cell grid at the scaled-up 100k-peer
+    scenario (per-op costs are analytical there, so workers spawn without
+    rebuilding any calibration substrate — the parent resolves them once
+    and ships them in the job specs). Cell values must be identical
+    between the two runs; the speedup gate only binds on runners with
+    >= JOBS_WORKERS CPUs, but the record always lands in the JSON so a
+    starved runner is visible rather than silently green.
+    """
+    import os
+
+    from repro.experiments.scenario import fastsim_scenario
+    from repro.experiments.sweeps import GridAxes, sweep_grid
+
+    scenario = fastsim_scenario(scale=5.0)
+    axes = GridAxes()
+    started = time.perf_counter()
+    sequential = sweep_grid(axes, scenario=scenario, duration=960.0, jobs=1)
+    sequential_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    parallel = sweep_grid(
+        axes, scenario=scenario, duration=960.0, jobs=JOBS_WORKERS
+    )
+    parallel_seconds = time.perf_counter() - started
+    return {
+        "scenario": "jobs",
+        "num_peers": scenario.num_peers,
+        "cells": axes.size,
+        "duration_rounds": 960.0,
+        "cpu_count": os.cpu_count(),
+        "workers": JOBS_WORKERS,
+        "sequential_seconds": sequential_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": (
+            sequential_seconds / parallel_seconds
+            if parallel_seconds > 0
+            else float("inf")
+        ),
+        "cells_identical": sequential.series == parallel.series,
+    }
+
+
 def _staleness_record() -> dict[str, object]:
     params = _scenario(400)
     agreement = compare_engines_staleness(
@@ -157,6 +210,19 @@ def enforce(payload: dict[str, object]) -> list[str]:
                     f"{100 * drift:.2f}% (> {100 * TOLERANCE:.0f}%): "
                     f"{record['summary']}"
                 )
+    jobs = payload["jobs_record"]
+    if not jobs["cells_identical"]:
+        violations.append(
+            "parallel sweep produced different cell values than the "
+            "sequential run"
+        )
+    cpus = jobs["cpu_count"] or 1
+    if cpus >= jobs["workers"] and jobs["speedup"] < JOBS_SPEEDUP_FLOOR:
+        violations.append(
+            f"jobs={jobs['workers']} sweep speedup below "
+            f"{JOBS_SPEEDUP_FLOOR}x on a {cpus}-CPU runner: "
+            f"{jobs['speedup']:.2f}x"
+        )
     return violations
 
 
@@ -194,6 +260,7 @@ def run_benchmark() -> dict[str, object]:
         "duration_rounds": DURATION,
         "records": records,
         "gate_records": gate_records,
+        "jobs_record": _jobs_record(),
     }
     JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
@@ -220,6 +287,13 @@ if __name__ == "__main__":
     print(_render(payload["records"]))
     for record in payload["gate_records"]:
         print(f"{record['scenario']}: {record['summary']}")
+    jobs = payload["jobs_record"]
+    print(
+        f"jobs: {jobs['cells']}-cell sweep at {jobs['num_peers']} peers, "
+        f"jobs={jobs['workers']} vs 1: {jobs['speedup']:.2f}x "
+        f"({jobs['sequential_seconds']:.1f}s -> "
+        f"{jobs['parallel_seconds']:.1f}s, {jobs['cpu_count']} CPUs)"
+    )
     print(json.dumps(payload, indent=2))
     violations = enforce(payload)
     if violations:

@@ -89,7 +89,7 @@ from repro.fastsim import (
 )
 from repro.errors import ReproError
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from repro.experiments.api import (  # noqa: E402
     ExperimentResult,

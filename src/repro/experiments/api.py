@@ -92,6 +92,10 @@ class ExperimentParams:
     #: Run the experiment over this many consecutive seeds and aggregate
     #: the series with confidence intervals (repro.experiments.stats).
     replicates: Optional[int] = None
+    #: Worker processes for the independent units inside one run
+    #: (replicate seeds, sweep cells, per-strategy kernel runs):
+    #: 1 = sequential (default), 0 = one worker per CPU, N = pool of N.
+    jobs: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.duration is not None and self.duration <= 0:
@@ -110,6 +114,13 @@ class ExperimentParams:
             raise ParameterError(
                 f"replicates must be a positive integer, "
                 f"got {self.replicates!r}"
+            )
+        if self.jobs is not None and (
+            not isinstance(self.jobs, int) or self.jobs < 0
+        ):
+            raise ParameterError(
+                f"jobs must be a non-negative integer (0 = cpu count), "
+                f"got {self.jobs!r}"
             )
 
     def to_dict(self) -> dict[str, object]:
@@ -163,6 +174,11 @@ class ExperimentContext:
         if self.params.window is not None:
             return self.params.window
         return self.duration / 12.0
+
+    @property
+    def jobs(self) -> int:
+        """Worker processes for the run's independent units (default 1)."""
+        return self.params.jobs if self.params.jobs is not None else 1
 
 
 @dataclass(frozen=True)
@@ -444,12 +460,27 @@ def run(name: str, **overrides: object) -> ExperimentResult:
     if replicates > 1:
         base_seed = merged.seed if merged.seed is not None else 0
         seeds = tuple(base_seed + i for i in range(replicates))
-        figures_by_seed = [
-            spec.builder(
-                replace(ctx, params=replace(ctx.params, seed=run_seed))
+        # One builder invocation per seed. The seeds are independent, so
+        # jobs > 1 fans them over a process pool (each child context runs
+        # its own units sequentially — no nested pools); jobs=1 keeps the
+        # historical in-process loop.
+        contexts = [
+            replace(
+                ctx,
+                params=replace(ctx.params, seed=run_seed, jobs=1),
             )
             for run_seed in seeds
         ]
+        workers = _resolve_worker_count(ctx.jobs)
+        if workers > 1 and len(contexts) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(contexts))
+            ) as pool:
+                figures_by_seed = list(pool.map(_build_in_context, contexts))
+        else:
+            figures_by_seed = [_build_in_context(c) for c in contexts]
         figure, replication = _aggregate_replicates(figures_by_seed, seeds)
     else:
         figure = spec.builder(ctx)
@@ -474,6 +505,23 @@ def run(name: str, **overrides: object) -> ExperimentResult:
         version=repro.__version__,
         replication=replication,
     )
+
+
+def _resolve_worker_count(jobs: int) -> int:
+    from repro.fastsim.parallel import resolve_worker_count
+
+    return resolve_worker_count(jobs)
+
+
+def _build_in_context(ctx: ExperimentContext) -> FigureSeries:
+    """Run one builder invocation (module-level so pools can pickle it).
+
+    The context pickles by reference for everything heavy: the spec's
+    builder is a module-level function, so a spawned worker re-imports
+    its defining module (repopulating the registry as a side effect) and
+    the scenario/params ride along as small frozen dataclasses.
+    """
+    return ctx.spec.builder(ctx)
 
 
 #: Confidence level of the ``replicates=N`` aggregation.
@@ -597,7 +645,7 @@ def _optimal(ctx: ExperimentContext) -> FigureSeries:
     "Sec. 5.2 - simulated strategies vs the analytical model",
     SIMULATED,
     engines=("event", "vectorized"),
-    accepts={"engine", "duration", "seed", "scale", "replicates"},
+    accepts={"engine", "duration", "seed", "scale", "replicates", "jobs"},
     duration=300.0,
     seed=0,
     scale=SIMULATION_SCALE,
@@ -608,16 +656,19 @@ def _sim(ctx: ExperimentContext) -> FigureSeries:
         duration=ctx.duration,
         seed=ctx.seed,
         engine=ctx.engine,
+        jobs=ctx.jobs,
     )
 
 
+# adaptivity is a single run at replicates=1; its "jobs" capability only
+# parallelizes the replicate seeds (handled by run()).
 @experiment(
     "adaptivity",
     "Sec. 5.2 - hit rate under a query-distribution shift",
     SIMULATED,
     engines=("event", "vectorized"),
     accepts={"engine", "duration", "seed", "scale", "shift_at",
-             "window", "replicates"},
+             "window", "replicates", "jobs"},
     duration=1200.0,
     seed=0,
     scale=SIMULATION_SCALE,
@@ -638,7 +689,7 @@ def _adaptivity(ctx: ExperimentContext) -> FigureSeries:
     "Extension - selection algorithm under churn",
     SIMULATED,
     engines=("event", "vectorized"),
-    accepts={"engine", "duration", "seed", "scale", "replicates"},
+    accepts={"engine", "duration", "seed", "scale", "replicates", "jobs"},
     duration=240.0,
     seed=0,
     scale=SIMULATION_SCALE,
@@ -649,6 +700,7 @@ def _churn(ctx: ExperimentContext) -> FigureSeries:
         duration=ctx.duration,
         seed=ctx.seed,
         engine=ctx.engine,
+        jobs=ctx.jobs,
     )
 
 
@@ -657,7 +709,7 @@ def _churn(ctx: ExperimentContext) -> FigureSeries:
     "Extension - index staleness without proactive updates",
     SIMULATED,
     engines=("event", "vectorized"),
-    accepts={"engine", "duration", "seed", "scale", "replicates"},
+    accepts={"engine", "duration", "seed", "scale", "replicates", "jobs"},
     duration=300.0,
     seed=0,
     scale=0.02,
@@ -668,6 +720,7 @@ def _staleness(ctx: ExperimentContext) -> FigureSeries:
         duration=ctx.duration,
         seed=ctx.seed,
         engine=ctx.engine,
+        jobs=ctx.jobs,
     )
 
 
@@ -676,7 +729,7 @@ def _staleness(ctx: ExperimentContext) -> FigureSeries:
     "Fig. 1 regenerated in simulation",
     SIMULATED,
     engines=("event", "vectorized"),
-    accepts={"engine", "duration", "seed", "scale", "replicates"},
+    accepts={"engine", "duration", "seed", "scale", "replicates", "jobs"},
     duration=120.0,
     seed=0,
     scale=0.02,
@@ -687,4 +740,5 @@ def _simfig1(ctx: ExperimentContext) -> FigureSeries:
         duration=ctx.duration,
         seed=ctx.seed,
         engine=ctx.engine,
+        jobs=ctx.jobs,
     )

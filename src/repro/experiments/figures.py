@@ -289,6 +289,7 @@ def simulation_comparison(
     churn: Optional[ChurnConfig] = None,
     dht_kind: str = "pgrid",
     engine: str = "event",
+    jobs: int = 1,
 ) -> FigureSeries:
     """Section 5.2: simulated strategies vs the analytical model.
 
@@ -296,19 +297,37 @@ def simulation_comparison(
     reports measured msg/s next to the model's prediction at the same
     scale. The claim under test is *ordering and rough factors*, not
     absolute equality. ``engine="vectorized"`` swaps in the batch kernel,
-    which also unlocks paper-scale (and larger) parameter sets.
+    which also unlocks paper-scale (and larger) parameter sets — and
+    ``jobs > 1`` fans the four independent strategy runs over a process
+    pool (vectorized engine only; per-op costs resolve in the parent).
     """
     params = params or simulation_scenario()
     config = PdhtConfig.from_scenario(params, dht_kind=dht_kind)
     measured: dict[str, float] = {}
     hit_rates: dict[str, float] = {}
-    for name in STRATEGY_CLASSES:
-        report = _run_strategy(
-            name, params, config, duration, seed=seed, churn=churn,
-            engine=engine,
-        )
-        measured[name] = report.messages_per_second
-        hit_rates[name] = report.hit_rate
+    if resolve_engine(engine) == "vectorized" and jobs != 1:
+        from repro.fastsim.parallel import FastSimJob, run_many
+
+        specs = [
+            FastSimJob(
+                params=params, strategy=name, seed=seed,
+                duration=duration, config=config, churn=churn,
+            )
+            for name in STRATEGY_CLASSES
+        ]
+        for name, report in zip(
+            STRATEGY_CLASSES, run_many(specs, workers=jobs)
+        ):
+            measured[name] = report.messages_per_second
+            hit_rates[name] = report.hit_rate
+    else:
+        for name in STRATEGY_CLASSES:
+            report = _run_strategy(
+                name, params, config, duration, seed=seed, churn=churn,
+                engine=engine,
+            )
+            measured[name] = report.messages_per_second
+            hit_rates[name] = report.hit_rate
 
     analytic = evaluate_strategies(params)
     selection = SelectionModel(params, key_ttl=config.key_ttl).outcome()
@@ -345,6 +364,7 @@ def churn_experiment(
     seed: int = 0,
     availabilities: Sequence[float] = (1.0, 0.75, 0.5),
     engine: str = "event",
+    jobs: int = 1,
 ) -> FigureSeries:
     """Extension: the selection algorithm under increasing churn.
 
@@ -362,26 +382,39 @@ def churn_experiment(
     Runs on either engine: ``engine="vectorized"`` charges the
     availability-dependent per-op model (calibrated below the
     calibration limit, structural Monte-Carlo beyond), which unlocks
-    availability sweeps at 10^5-10^6 peers.
+    availability sweeps at 10^5-10^6 peers — and ``jobs > 1`` fans the
+    independent availability cells over a process pool there.
     """
     from repro.fastsim.compare import churn_config_for_availability
 
     params = params or simulation_scenario()
-    rows_success: list[float] = []
-    rows_hit: list[float] = []
-    rows_cost: list[float] = []
-    for availability in availabilities:
+    config = PdhtConfig.from_scenario(params)
+    reports = []
+    if resolve_engine(engine) == "vectorized" and jobs != 1:
+        from repro.fastsim.parallel import FastSimJob, run_many
+
         # One mean-session convention for figures, sweeps and the
         # cross-engine agreement checks alike.
-        churn = churn_config_for_availability(availability)
-        config = PdhtConfig.from_scenario(params)
-        report = _run_strategy(
-            "partialSelection", params, config, duration, seed=seed,
-            churn=churn, engine=engine,
-        )
-        rows_success.append(report.success_rate)
-        rows_hit.append(report.hit_rate)
-        rows_cost.append(report.messages_per_second)
+        specs = [
+            FastSimJob(
+                params=params, seed=seed, duration=duration, config=config,
+                churn=churn_config_for_availability(availability),
+            )
+            for availability in availabilities
+        ]
+        reports = run_many(specs, workers=jobs)
+    else:
+        for availability in availabilities:
+            churn = churn_config_for_availability(availability)
+            reports.append(
+                _run_strategy(
+                    "partialSelection", params, config, duration, seed=seed,
+                    churn=churn, engine=engine,
+                )
+            )
+    rows_success = [report.success_rate for report in reports]
+    rows_hit = [report.hit_rate for report in reports]
+    rows_cost = [report.messages_per_second for report in reports]
     return FigureSeries(
         name=(
             f"Extension - selection algorithm under churn "
@@ -404,6 +437,7 @@ def simulated_figure1(
     duration: float = 120.0,
     seed: int = 0,
     engine: str = "event",
+    jobs: int = 1,
 ) -> FigureSeries:
     """Fig. 1 regenerated *in simulation* (reduced scale).
 
@@ -412,7 +446,8 @@ def simulated_figure1(
     the analytical :func:`figure1`. The shape claim under test: simulated
     ``partialIdeal`` stays below both all-or-nothing baselines at every
     frequency, and ``noIndex`` falls linearly while ``indexAll`` stays
-    flat.
+    flat. ``jobs > 1`` fans the strategy x frequency cells over a
+    process pool (vectorized engine only).
     """
     params = params or simulation_scenario(scale=0.02)
     series: dict[str, list[float]] = {
@@ -421,14 +456,33 @@ def simulated_figure1(
         "partialIdeal": [],
         "partialSelection": [],
     }
-    for freq in frequencies:
-        scenario = params.with_query_freq(freq)
-        config = PdhtConfig.from_scenario(scenario)
-        for name in series:
-            report = _run_strategy(
-                name, scenario, config, duration, seed=seed, engine=engine
+    if resolve_engine(engine) == "vectorized" and jobs != 1:
+        from repro.fastsim.parallel import FastSimJob, run_many
+
+        cells = [
+            (freq, name) for freq in frequencies for name in series
+        ]
+        specs = [
+            FastSimJob(
+                params=params.with_query_freq(freq),
+                strategy=name,
+                seed=seed,
+                duration=duration,
+                config=PdhtConfig.from_scenario(params.with_query_freq(freq)),
             )
+            for freq, name in cells
+        ]
+        for (freq, name), report in zip(cells, run_many(specs, workers=jobs)):
             series[name].append(report.messages_per_second)
+    else:
+        for freq in frequencies:
+            scenario = params.with_query_freq(freq)
+            config = PdhtConfig.from_scenario(scenario)
+            for name in series:
+                report = _run_strategy(
+                    name, scenario, config, duration, seed=seed, engine=engine
+                )
+                series[name].append(report.messages_per_second)
     return FigureSeries(
         name=(
             f"Fig. 1 (simulated) - msg/s at {params.num_peers} peers, "
@@ -448,6 +502,7 @@ def staleness_experiment(
     ttl_factors: Sequence[float] = (0.25, 1.0, 4.0),
     refresh_periods: Optional[Sequence[float]] = None,
     engine: str = "event",
+    jobs: int = 1,
 ) -> FigureSeries:
     """Extension: answer staleness without proactive updates.
 
@@ -465,7 +520,8 @@ def staleness_experiment(
     ``engine="vectorized"`` measures the same distribution from the
     kernel's per-key payload/indexed version counters (within 5% of the
     event engine; ``tests/properties/test_property_fastsim.py``) and
-    scales to 10^5-10^6 peers.
+    scales to 10^5-10^6 peers; ``jobs > 1`` fans the independent
+    (period, TTL factor) cells over a process pool there.
     """
     from repro.fastsim.compare import (
         staleness_probe_event,
@@ -478,11 +534,8 @@ def staleness_experiment(
     periods = tuple(refresh_periods) if refresh_periods else (refresh_period,)
     if any(p <= 0 for p in periods):
         raise ParameterError(f"refresh_periods must be > 0, got {periods}")
-    probe = (
-        staleness_probe_fast
-        if resolve_engine(engine) == "vectorized"
-        else staleness_probe_event
-    )
+    vectorized = resolve_engine(engine) == "vectorized"
+    probe = staleness_probe_fast if vectorized else staleness_probe_event
     base_ttl = PdhtConfig.from_scenario(params).key_ttl
 
     labels: list[str] = []
@@ -492,20 +545,41 @@ def staleness_experiment(
         if factor <= 0:
             raise ParameterError(f"ttl_factors must be > 0, got {factor}")
         labels.append(f"{factor:g}x")
-    for period in periods:
-        suffix = f" @ refresh {period:g}s" if sweeping_periods else ""
-        stale_key = f"stale hit fraction{suffix}"
-        hit_key = f"hit rate{suffix}"
-        stale_rates, hit_rates = [], []
-        for factor in ttl_factors:
+    cells = [(period, factor) for period in periods for factor in ttl_factors]
+    measured: dict[tuple[float, float], tuple[float, float]] = {}
+    if vectorized and jobs != 1:
+        from repro.fastsim.parallel import FastSimJob, run_many
+
+        specs = [
+            FastSimJob(
+                params=params,
+                seed=seed,
+                duration=duration,
+                config=PdhtConfig.from_scenario(params).with_ttl(
+                    base_ttl * factor
+                ),
+                content_refresh_period=period,
+            )
+            for period, factor in cells
+        ]
+        for cell, report in zip(cells, run_many(specs, workers=jobs)):
+            measured[cell] = (report.stale_hit_fraction, report.hit_rate)
+    else:
+        for period, factor in cells:
             config = PdhtConfig.from_scenario(params).with_ttl(
                 base_ttl * factor
             )
-            stale, hit_rate = probe(params, config, duration, period, seed)
-            stale_rates.append(stale)
-            hit_rates.append(hit_rate)
-        series[stale_key] = stale_rates
-        series[hit_key] = hit_rates
+            measured[(period, factor)] = probe(
+                params, config, duration, period, seed
+            )
+    for period in periods:
+        suffix = f" @ refresh {period:g}s" if sweeping_periods else ""
+        series[f"stale hit fraction{suffix}"] = [
+            measured[(period, factor)][0] for factor in ttl_factors
+        ]
+        series[f"hit rate{suffix}"] = [
+            measured[(period, factor)][1] for factor in ttl_factors
+        ]
 
     period_note = (
         ", ".join(f"{p:g}" for p in periods)

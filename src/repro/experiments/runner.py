@@ -12,7 +12,10 @@ Usage::
 Every experiment is an :class:`~repro.experiments.api.ExperimentSpec`;
 ``--list`` enumerates the registry with each experiment's engine
 capabilities. ``--engine``/``--seed``/``--scale``/``--duration``/
-``--replicates`` override the spec defaults where the spec accepts them;
+``--replicates``/``--jobs`` override the spec defaults where the spec
+accepts them (``--jobs N`` fans an experiment's independent units —
+replicate seeds, sweep cells, per-strategy kernel runs — over N worker
+processes; 0 means one per CPU);
 requesting an engine an experiment does not support exits non-zero with
 the gate reason (the old runner silently fell back to the event engine).
 ``--format csv|json`` switches the output from rendered ASCII to
@@ -131,6 +134,15 @@ def main(argv: list[str] | None = None) -> int:
         "confidence intervals (simulated experiments)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for an experiment's independent units "
+        "(replicate seeds, sweep cells, per-strategy runs); default 1, "
+        "0 = one per CPU",
+    )
+    parser.add_argument(
         "--format",
         choices=FORMATS,
         default="text",
@@ -171,6 +183,7 @@ def main(argv: list[str] | None = None) -> int:
         "scale": args.scale,
         "duration": args.duration,
         "replicates": args.replicates,
+        "jobs": args.jobs,
     }
     for name in names:
         spec = get_spec(name)

@@ -25,7 +25,10 @@ numpy batch operations:
   plus per-key payload-version staleness;
 * :mod:`repro.fastsim.compare` — per-op cost calibration against the
   event engine (with and without churn) and cross-engine agreement
-  checks (aggregates, churn cost, staleness fraction).
+  checks (aggregates, churn cost, staleness fraction);
+* :mod:`repro.fastsim.parallel` — multi-process fan-out of independent
+  kernel jobs (sweep cells, replicate seeds, one run per strategy) with
+  per-op costs resolved once in the parent.
 
 Select it anywhere the experiment harness runs simulations via
 ``engine="vectorized"`` (see :mod:`repro.experiments.scenario`).
@@ -58,6 +61,12 @@ from repro.fastsim.kernel import (
     run_fastsim,
 )
 from repro.fastsim.metrics import FastSimReport, WindowRecorder
+from repro.fastsim.parallel import (
+    FastSimJob,
+    resolve_jobs,
+    resolve_worker_count,
+    run_many,
+)
 from repro.fastsim.state import FastSimState
 from repro.fastsim.workload import (
     BatchFlashCrowdWorkload,
@@ -80,6 +89,10 @@ __all__ = [
     "run_fastsim",
     "FastSimReport",
     "WindowRecorder",
+    "FastSimJob",
+    "resolve_jobs",
+    "resolve_worker_count",
+    "run_many",
     "EngineAgreement",
     "CALIBRATION_LIMIT",
     "calibrate_costs",

@@ -418,8 +418,11 @@ def churn_costs_for(
     strategy asks for a different ``num_active_peers`` (indexAll's full
     index, partialIdeal's threshold) the member-dependent costs (lookup,
     maintenance) are rescaled analytically to the requested online
-    membership — floods and walks depend on the replication factor and
-    the overlay, not the DHT size, and carry over unchanged.
+    membership. Walks depend on the overlay, not the DHT size, and carry
+    over unchanged; floods normally do too (groups hold ``replication``
+    members either way) except when a DHT is smaller than the
+    replication factor, where the flood costs are rescaled to the
+    undersized merged group (see :func:`_rescale_members`).
 
     Cost note: below the limit the probe drives a real event-engine
     workload for ~260 rounds per (scenario, config, churn, seed), so a
@@ -434,7 +437,7 @@ def churn_costs_for(
     """
     if params.num_peers <= CALIBRATION_LIMIT:
         calibrated = _churn_costs_cached(params, config, churn, seed)
-        return _rescale_members(calibrated, num_active_peers)
+        return _rescale_members(calibrated, num_active_peers, config)
     return ChurnOpCosts.structural(
         params,
         config,
@@ -457,8 +460,23 @@ def _churn_costs_cached(
     return calibrate_churn_costs(params, churn, config, seed=seed)
 
 
-def _rescale_members(costs: ChurnOpCosts, num_active_peers: int) -> ChurnOpCosts:
-    """Adjust the member-dependent costs to a different DHT size."""
+def _rescale_members(
+    costs: ChurnOpCosts,
+    num_active_peers: int,
+    config: Optional[PdhtConfig] = None,
+) -> ChurnOpCosts:
+    """Adjust the member-dependent costs to a different DHT size.
+
+    Lookups and maintenance scale with the online member count. Floods
+    normally carry over unchanged (replica groups hold ``replication``
+    members regardless of the DHT size) — *except* when one of the two
+    DHTs is smaller than the replication factor, where the event engine
+    merges everyone into a single undersized group (partialIdeal's
+    threshold-sized DHT is the common case). There the flood-type costs
+    are rescaled by the structural Monte-Carlo flood estimate at each
+    effective group size, so a 10-member group is not charged a
+    50-member group's flood.
+    """
     if num_active_peers == costs.num_active_peers:
         return costs
     old_online = max(2, int(round(costs.num_active_peers * costs.availability)))
@@ -470,9 +488,32 @@ def _rescale_members(costs: ChurnOpCosts, num_active_peers: int) -> ChurnOpCosts
     maintenance_scale = (new_online * math.log2(new_online)) / (
         old_online * math.log2(old_online)
     )
+    flood_scale = 1.0
+    if config is not None:
+        old_group = min(config.replication, costs.num_active_peers)
+        new_group = min(config.replication, num_active_peers)
+        if new_group != old_group:
+            from repro.fastsim.churncosts import structural_flood_cost
+
+            old_flood = structural_flood_cost(
+                old_group,
+                config.replica_degree,
+                costs.availability,
+                np.random.default_rng(0x5CA1E),
+            )
+            new_flood = structural_flood_cost(
+                new_group,
+                config.replica_degree,
+                costs.availability,
+                np.random.default_rng(0x5CA1E),
+            )
+            flood_scale = new_flood / old_flood if old_flood else 1.0
     return dc_replace(
         costs,
         lookup=costs.lookup * lookup_scale,
+        hit_flood=costs.hit_flood * flood_scale,
+        miss_flood=costs.miss_flood * flood_scale,
+        insert_flood=costs.insert_flood * flood_scale,
         maintenance_per_round=costs.maintenance_per_round * maintenance_scale,
         num_active_peers=num_active_peers,
     )
@@ -646,6 +687,7 @@ def compare_engines_churn(
     mean_session: float = 1800.0,
     costs: Optional[PerOpCosts] = None,
     churn_costs: Optional[ChurnOpCosts] = None,
+    calibration_seed: int = 0,
 ) -> EngineAgreement:
     """Run the selection algorithm under churn through both engines.
 
@@ -654,6 +696,13 @@ def compare_engines_churn(
     with the availability-dependent cost model (calibrated via
     :func:`churn_costs_for` unless given). Agreement on hit rate *and*
     total cost is the acceptance bar that lifted the churn engine gate.
+
+    ``calibration_seed`` picks the substrate the *base* (no-churn) per-op
+    costs are measured on, exactly like :func:`compare_engines` — it also
+    anchors the base-cost resolution :func:`churn_costs_for` scales its
+    structural estimators from. The churn calibration itself still runs
+    at each comparison seed (churn per-op costs are substrate-realisation
+    properties; see :class:`~repro.fastsim.kernel.FastSimKernel`).
     """
     if not seeds:
         raise ParameterError("need at least one seed")
@@ -665,7 +714,7 @@ def compare_engines_churn(
         )
     config = config or PdhtConfig.from_scenario(params)
     if costs is None:
-        costs = calibrate_costs(params, config)
+        costs = calibrate_costs(params, config, seed=calibration_seed)
     agreement = EngineAgreement(
         params=params,
         duration=duration,

@@ -74,7 +74,56 @@ from repro.pdht.config import PdhtConfig
 from repro.pdht.strategies import STRATEGY_NAMES as STRATEGIES
 from repro.sim.metrics import MessageCategory
 
-__all__ = ["PerOpCosts", "FastAdaptiveTtl", "FastSimKernel", "run_fastsim"]
+__all__ = [
+    "PerOpCosts",
+    "FastAdaptiveTtl",
+    "FastSimKernel",
+    "run_fastsim",
+    "strategy_setup",
+]
+
+
+#: Query-draw block cap for the batched round loop: whole shift-free
+#: segments are drawn in one ``sample_ranks`` call, but never more than
+#: this many queries at once (two int64 arrays of this size are ~64 MB),
+#: so 10^7-peer runs keep bounded memory. Chunking does not change the
+#: RNG stream: consecutive draws concatenate bit-identically.
+DRAW_BLOCK = 1 << 22
+
+
+def strategy_setup(
+    params: ScenarioParameters,
+    config: PdhtConfig,
+    strategy: str,
+) -> tuple[float, int, int]:
+    """Per-strategy ``(key_ttl, max_rank, num_members)`` derivation.
+
+    Mirrors the event-engine strategies' ``_adjust_config`` /
+    ``_active_peers`` hooks. Shared between :class:`FastSimKernel` and
+    the parallel job runner (:mod:`repro.fastsim.parallel`), which must
+    resolve per-op costs in the parent process — at the same DHT size
+    the kernel would derive — before shipping jobs to workers.
+    """
+    if strategy not in STRATEGIES:
+        raise ParameterError(
+            f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+        )
+    max_rank = 0
+    if strategy == "noIndex":
+        key_ttl = 0.0
+        num_members = 2
+    elif strategy == "indexAll":
+        key_ttl = float("inf")
+        num_members = params.active_peers_for(params.n_keys)
+    elif strategy == "partialIdeal":
+        key_ttl = float("inf")
+        max_rank = solve_threshold(params).max_rank
+        num_members = max(2, params.active_peers_for(max_rank))
+    else:
+        key_ttl = config.key_ttl
+        expected = SelectionModel(params, key_ttl=config.key_ttl).index_size
+        num_members = params.active_peers_for(max(expected, 1.0))
+    return key_ttl, max_rank, num_members
 
 
 @dataclass(frozen=True)
@@ -285,23 +334,9 @@ class FastSimKernel:
 
         # Strategy-specific TTL and DHT size (mirrors the event-engine
         # strategies' _adjust_config / _active_peers hooks).
-        self._max_rank = 0
-        if strategy == "noIndex":
-            self.key_ttl = 0.0
-            num_members = 2
-        elif strategy == "indexAll":
-            self.key_ttl = float("inf")
-            num_members = params.active_peers_for(params.n_keys)
-        elif strategy == "partialIdeal":
-            self.key_ttl = float("inf")
-            self._max_rank = solve_threshold(params).max_rank
-            num_members = max(2, params.active_peers_for(self._max_rank))
-        else:
-            self.key_ttl = self.config.key_ttl
-            expected = SelectionModel(
-                params, key_ttl=self.config.key_ttl
-            ).index_size
-            num_members = params.active_peers_for(max(expected, 1.0))
+        self.key_ttl, self._max_rank, num_members = strategy_setup(
+            params, self.config, strategy
+        )
 
         if costs is None:
             # Imported lazily: compare.py imports this module at load time.
@@ -392,47 +427,79 @@ class FastSimKernel:
         rounds = int(round(duration))
         rate = self.params.network_query_rate
         counts = self._rng_counts.poisson(rate, size=rounds)
+        cumulative = np.cumsum(counts)
         start = self.now
+        # Hoisted per-round temporaries: the window-close thunk and the
+        # churn maintenance scale are loop invariants.
+        size_thunk = lambda: self._reported_index_size(self.now)  # noqa: E731
+        maintenance_scale = (
+            self.churn_costs.maintenance_per_round
+            / self.churn_costs.availability
+            if self.churn_costs is not None
+            else 0.0
+        )
 
-        for i in range(rounds):
-            self.now += 1.0
-            now = self.now
-            if self.churn is not None:
-                report.churn_transitions += self.churn.step(self.state.online)
-            if self._next_refresh is not None and now >= self._next_refresh:
-                # Content refresh before the round's queries, matching the
-                # event-engine staleness loop (advance -> refresh -> query).
-                self.state.bump_versions()
-                report.content_refreshes += 1
-                self._next_refresh += self.content_refresh_period
-            if self.strategy != "noIndex":
-                if self.churn_costs is not None:
-                    # The calibrated rate holds at the stationary
-                    # availability; scale it to the instantaneous online
-                    # member fraction so transients show up immediately.
-                    totals[MessageCategory.MAINTENANCE] += (
-                        self.churn_costs.maintenance_per_round
-                        * self.state.online_member_fraction()
-                        / self.churn_costs.availability
-                    )
-                else:
-                    totals[MessageCategory.MAINTENANCE] += (
-                        self.costs.maintenance_per_round
-                    )
-
-            count = int(counts[i])
-            ranks, keys = self.workload.draw_round(now, count)
-            accepted, round_hits = self._step_queries(
-                now, ranks, keys, totals, report
+        # The workload stream is independent of every other child stream
+        # (churn, membership, resolution), so whole blocks of rounds are
+        # drawn up front in one sample_ranks call per shift-free segment
+        # — identical RNG stream order, a fraction of the call overhead.
+        # Blocks are bounded so a 10^7-peer run never materialises the
+        # entire query stream at once.
+        block_lo = 0
+        while block_lo < rounds:
+            drawn = cumulative[block_lo - 1] if block_lo else 0
+            block_hi = int(
+                np.searchsorted(cumulative, drawn + DRAW_BLOCK, side="right")
             )
-            self._step_updates(totals)
-
-            recorder.record(accepted, round_hits)
-            recorder.maybe_close(
-                now - start, lambda: self._reported_index_size(now)
+            block_hi = min(max(block_hi, block_lo + 1), rounds)
+            block_ranks, block_keys, offsets = self.workload.draw_rounds(
+                start + block_lo, counts[block_lo:block_hi]
             )
-            for hook in self.on_round:
-                hook(self, now)
+            for i in range(block_lo, block_hi):
+                self.now += 1.0
+                now = self.now
+                if self.churn is not None:
+                    report.churn_transitions += self.churn.step(
+                        self.state.online
+                    )
+                if self._next_refresh is not None and now >= self._next_refresh:
+                    # Content refresh before the round's queries, matching
+                    # the event-engine staleness loop
+                    # (advance -> refresh -> query).
+                    self.state.bump_versions()
+                    report.content_refreshes += 1
+                    self._next_refresh += self.content_refresh_period
+                if self.strategy != "noIndex":
+                    if self.churn_costs is not None:
+                        # The calibrated rate holds at the stationary
+                        # availability; scale it to the instantaneous
+                        # online member fraction so transients show up
+                        # immediately.
+                        totals[MessageCategory.MAINTENANCE] += (
+                            maintenance_scale
+                            * self.state.online_member_fraction()
+                        )
+                    else:
+                        totals[MessageCategory.MAINTENANCE] += (
+                            self.costs.maintenance_per_round
+                        )
+
+                lo, hi = offsets[i - block_lo], offsets[i - block_lo + 1]
+                accepted, round_hits = self._step_queries(
+                    now, block_ranks[lo:hi], block_keys[lo:hi], totals, report
+                )
+                self._step_updates(totals)
+
+                recorder.record(accepted, round_hits)
+                recorder.maybe_close(now - start, size_thunk)
+                for hook in self.on_round:
+                    hook(self, now)
+            block_lo = block_hi
+
+        # Close the trailing partial window (duration % window != 0) so
+        # the tail queries reach hit_rate_series — the event driver
+        # flushes identically.
+        recorder.flush(self.now - start, size_thunk)
 
         report.messages_by_category = {
             category: total for category, total in totals.items() if total
@@ -656,9 +723,25 @@ class FastSimKernel:
         if whole:
             self._update_debt -= whole
             # An update routes to the responsible peer and floods its
-            # replica subnetwork, like the event engine's proactive_update.
-            totals[MessageCategory.INDEX_SEARCH] += self.costs.lookup * whole
-            totals[MessageCategory.REPLICA_FLOOD] += self.costs.flood * whole
+            # replica subnetwork, like the event engine's proactive_update
+            # (= _insert_into_index: one lookup + one replica flood).
+            cc = self.churn_costs
+            if cc is None:
+                totals[MessageCategory.INDEX_SEARCH] += (
+                    self.costs.lookup * whole
+                )
+                totals[MessageCategory.REPLICA_FLOOD] += (
+                    self.costs.flood * whole
+                )
+            else:
+                # Under churn the update pays the availability-adjusted
+                # lookup over the online membership and the measured
+                # online-component insert flood, exactly like the event
+                # engine's insert path does.
+                totals[MessageCategory.INDEX_SEARCH] += cc.lookup * whole
+                totals[MessageCategory.REPLICA_FLOOD] += (
+                    cc.insert_flood * whole
+                )
 
     # ------------------------------------------------------------------
     # Helpers

@@ -38,6 +38,12 @@ class WindowRecorder:
         self.queries += queries
         self.hits += hits
 
+    def _close(self, elapsed: float, index_size: Callable[[], int]) -> None:
+        rate = self.hits / self.queries if self.queries else 0.0
+        self.hit_rate_series.append((elapsed, rate))
+        self.index_size_series.append((elapsed, index_size()))
+        self.queries = self.hits = 0
+
     def maybe_close(self, elapsed: float, index_size: Callable[[], int]) -> None:
         """Close the window at ``elapsed`` rounds since run start.
 
@@ -46,11 +52,21 @@ class WindowRecorder:
         """
         if not self.enabled or elapsed < self.next_at:
             return
-        rate = self.hits / self.queries if self.queries else 0.0
-        self.hit_rate_series.append((elapsed, rate))
-        self.index_size_series.append((elapsed, index_size()))
-        self.queries = self.hits = 0
+        self._close(elapsed, index_size)
         self.next_at += self.window
+
+    def flush(self, elapsed: float, index_size: Callable[[], int]) -> None:
+        """Close the trailing partial window at the end of a run.
+
+        When ``duration`` is not a multiple of ``window`` the final
+        ``duration % window`` rounds never reach ``next_at``; without this
+        flush their queries silently vanish from ``hit_rate_series``. A
+        run that ends exactly on a window boundary already closed it in
+        :meth:`maybe_close` and is left untouched.
+        """
+        if not self.enabled or elapsed <= self.next_at - self.window:
+            return
+        self._close(elapsed, index_size)
 
 
 @dataclass

@@ -1,0 +1,150 @@
+"""Multi-process execution of independent fastsim jobs.
+
+One kernel run is already vectorized; a *figure* is many kernel runs —
+sweep cells, replicate seeds, one run per strategy — and those are
+embarrassingly parallel. This module fans a list of picklable
+:class:`FastSimJob` specs over a :class:`concurrent.futures.ProcessPoolExecutor`:
+
+* per-op costs are resolved **once in the parent** (:func:`resolve_jobs`)
+  at exactly the DHT size the kernel would derive
+  (:func:`~repro.fastsim.kernel.strategy_setup`), then shipped inside the
+  job spec — N workers never rebuild the calibration substrate, and the
+  parent's ``lru_cache``'d calibrations stay warm across repeated calls;
+* workers execute nothing but :func:`~repro.fastsim.kernel.run_fastsim`
+  on the fully-resolved spec, so the per-job pickle payload is a handful
+  of frozen dataclasses plus the report coming back;
+* ``jobs=1`` bypasses the pool entirely (same results, no fork cost) and
+  ``jobs=0`` means one worker per CPU.
+
+Everything in a job spec must pickle: :class:`ScenarioParameters`,
+:class:`PdhtConfig`, :class:`PerOpCosts`, :class:`ChurnOpCosts` and
+:class:`ChurnConfig` are frozen dataclasses and
+:class:`~repro.fastsim.workload.BatchWorkload` instances (numpy
+``Generator`` included) pickle by value — but a workload with an open
+file handle or a lambda hook would not. Results come back in job order.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+from repro.analysis.parameters import ScenarioParameters
+from repro.errors import ParameterError
+from repro.fastsim.churncosts import ChurnOpCosts
+from repro.fastsim.kernel import PerOpCosts, run_fastsim, strategy_setup
+from repro.fastsim.metrics import FastSimReport
+from repro.fastsim.workload import BatchWorkload
+from repro.net.churn import ChurnConfig
+from repro.pdht.config import PdhtConfig
+
+__all__ = ["FastSimJob", "resolve_jobs", "resolve_worker_count", "run_many"]
+
+
+@dataclass(frozen=True)
+class FastSimJob:
+    """One picklable kernel run: the arguments of
+    :func:`~repro.fastsim.kernel.run_fastsim`, as data."""
+
+    params: ScenarioParameters
+    strategy: str = "partialSelection"
+    seed: int = 0
+    duration: float = 240.0
+    config: Optional[PdhtConfig] = None
+    workload: Optional[BatchWorkload] = None
+    churn: Optional[ChurnConfig] = None
+    costs: Optional[PerOpCosts] = None
+    churn_costs: Optional[ChurnOpCosts] = None
+    content_refresh_period: Optional[float] = None
+    window: float = 0.0
+
+    def run(self) -> FastSimReport:
+        """Execute this job in the current process."""
+        return run_fastsim(
+            self.params,
+            config=self.config,
+            duration=self.duration,
+            strategy=self.strategy,
+            seed=self.seed,
+            workload=self.workload,
+            churn=self.churn,
+            costs=self.costs,
+            churn_costs=self.churn_costs,
+            content_refresh_period=self.content_refresh_period,
+            window=self.window,
+        )
+
+
+def resolve_worker_count(jobs: int) -> int:
+    """Normalise a ``--jobs`` value: 0 = one worker per CPU."""
+    if jobs < 0:
+        raise ParameterError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def resolve_jobs(jobs: Sequence[FastSimJob]) -> list[FastSimJob]:
+    """Fill in every job's per-op costs in the calling process.
+
+    This is the design decision that makes the pool worthwhile: cost
+    resolution is the expensive, cacheable part (below the calibration
+    limit it builds and probes a real event-engine substrate), so it runs
+    once here — where ``costs_for``/``churn_costs_for``'s ``lru_cache``
+    deduplicates identical scenarios across jobs — and the resolved
+    frozen dataclasses ride along in the spec. Workers just simulate.
+    """
+    from repro.fastsim.compare import churn_costs_for, costs_for
+
+    resolved: list[FastSimJob] = []
+    for job in jobs:
+        config = job.config or PdhtConfig.from_scenario(job.params)
+        _, _, num_members = strategy_setup(job.params, config, job.strategy)
+        costs = job.costs or costs_for(job.params, config, num_members)
+        churn_costs = job.churn_costs
+        if (
+            churn_costs is None
+            and job.churn is not None
+            and job.churn.enabled
+        ):
+            churn_costs = churn_costs_for(
+                job.params,
+                config,
+                num_members,
+                job.churn,
+                base=costs,
+                seed=job.seed,
+            )
+        resolved.append(
+            replace(
+                job, config=config, costs=costs, churn_costs=churn_costs
+            )
+        )
+    return resolved
+
+
+def _run_job(job: FastSimJob) -> FastSimReport:
+    """Worker entry point (module-level so it pickles under spawn)."""
+    return job.run()
+
+
+def run_many(
+    jobs: Sequence[FastSimJob], workers: int = 1
+) -> list[FastSimReport]:
+    """Run every job; reports return in job order.
+
+    ``workers`` follows the CLI ``--jobs`` convention: ``1`` runs
+    sequentially in-process (no pool, caches stay warm for the caller),
+    ``0`` uses one worker per CPU, ``N > 1`` uses a process pool of N.
+    Costs are resolved in the parent first (:func:`resolve_jobs`) either
+    way, so sequential and parallel execution charge identical costs and
+    produce identical seeded reports.
+    """
+    workers = resolve_worker_count(workers)
+    resolved = resolve_jobs(jobs)
+    if workers == 1 or len(resolved) <= 1:
+        return [job.run() for job in resolved]
+    with ProcessPoolExecutor(max_workers=min(workers, len(resolved))) as pool:
+        return list(pool.map(_run_job, resolved))

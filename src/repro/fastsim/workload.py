@@ -47,6 +47,19 @@ class BatchWorkload(abc.ABC):
     def maybe_shift(self, now: float) -> bool:
         """Apply any scheduled distribution change; True if one happened."""
 
+    def shift_pending(self, now: float) -> bool:
+        """Whether :meth:`maybe_shift` *could* change anything at ``now``.
+
+        A pure peek — consumes no randomness — so :meth:`draw_rounds` can
+        batch whole segments of rounds between shift boundaries while
+        keeping the RNG stream order of per-round draws. The base default
+        is conservatively ``True``: a subclass that only overrides
+        :meth:`maybe_shift` still has it invoked every round (one-round
+        segments, identical semantics to the per-round path); overriding
+        this with an exact peek is the batching opt-in.
+        """
+        return True
+
     def draw_round(
         self, now: float, count: int
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -57,9 +70,54 @@ class BatchWorkload(abc.ABC):
         ranks = self.zipf.sample_ranks(self.rng, count)
         return ranks, self.rank_to_key[ranks - 1]
 
+    def draw_rounds(
+        self, start: float, counts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw many consecutive rounds' batches in one or few RNG calls.
+
+        Round ``i`` (0-based) happens at ``start + i + 1`` with
+        ``counts[i]`` queries, exactly like ``len(counts)`` successive
+        :meth:`draw_round` calls. Stationary workloads draw everything in
+        a single ``sample_ranks`` call; non-stationary workloads split at
+        shift boundaries and draw per segment, so the rank->key mapping
+        applied to each round and the RNG stream order are identical to
+        the per-round path — seeded results stay bit-identical.
+
+        Returns ``(ranks, keys, offsets)`` where
+        ``ranks[offsets[i]:offsets[i + 1]]`` is round ``i``'s batch.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.size and counts.min() < 0:
+            raise ParameterError(
+                f"counts must be >= 0, got min {counts.min()}"
+            )
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        ranks = np.empty(int(offsets[-1]), dtype=np.int64)
+        keys = np.empty_like(ranks)
+        segment_start = 0
+        for i in range(counts.size + 1):
+            at_end = i == counts.size
+            now = start + i + 1.0
+            if not at_end and not self.shift_pending(now):
+                continue
+            # Flush the pending segment under the current mapping, then
+            # apply the shift (which may consume RNG) before round i.
+            lo, hi = int(offsets[segment_start]), int(offsets[i])
+            if hi > lo:
+                drawn = self.zipf.sample_ranks(self.rng, hi - lo)
+                ranks[lo:hi] = drawn
+                keys[lo:hi] = self.rank_to_key[drawn - 1]
+            segment_start = i
+            if not at_end:
+                self.maybe_shift(now)
+        return ranks, keys, offsets
+
 
 class BatchZipfWorkload(BatchWorkload):
     """The stationary Zipf stream of the paper's evaluation."""
+
+    def shift_pending(self, now: float) -> bool:
+        return False
 
     def maybe_shift(self, now: float) -> bool:
         return False
@@ -80,8 +138,11 @@ class BatchShuffledZipfWorkload(BatchWorkload):
         self.shift_time = shift_time
         self.shifted = False
 
+    def shift_pending(self, now: float) -> bool:
+        return not self.shifted and now >= self.shift_time
+
     def maybe_shift(self, now: float) -> bool:
-        if not self.shifted and now >= self.shift_time:
+        if self.shift_pending(now):
             self.rank_to_key = self.rng.permutation(self.n_keys)
             self.shifted = True
             return True
@@ -110,8 +171,11 @@ class BatchFlashCrowdWorkload(BatchWorkload):
         self.cold_rank = cold_rank
         self.crowded = False
 
+    def shift_pending(self, now: float) -> bool:
+        return not self.crowded and now >= self.crowd_time
+
     def maybe_shift(self, now: float) -> bool:
-        if not self.crowded and now >= self.crowd_time:
+        if self.shift_pending(now):
             promoted = self.rank_to_key[self.cold_rank - 1]
             mapping = np.delete(self.rank_to_key, self.cold_rank - 1)
             self.rank_to_key = np.concatenate(([promoted], mapping))

@@ -184,6 +184,14 @@ class SimulatedStrategy(abc.ABC):
         window_queries = 0
         window_hits = 0
 
+        def close_window(elapsed: float) -> None:
+            nonlocal window_queries, window_hits
+            size = self.network.distinct_indexed_keys()
+            report.index_size_series.append((elapsed, size))
+            rate = window_hits / window_queries if window_queries else 0.0
+            report.hit_rate_series.append((elapsed, rate))
+            window_queries = window_hits = 0
+
         rounds = int(round(duration))
         for _ in range(rounds):
             self.network.advance(1.0)
@@ -207,12 +215,14 @@ class SimulatedStrategy(abc.ABC):
                 self._update_debt -= 1.0
                 self._apply_random_update()
             if window > 0 and now - start >= next_window:
-                size = self.network.distinct_indexed_keys()
-                report.index_size_series.append((now - start, size))
-                hit_rate = window_hits / window_queries if window_queries else 0.0
-                report.hit_rate_series.append((now - start, hit_rate))
-                window_queries = window_hits = 0
+                close_window(now - start)
                 next_window += window
+
+        # Flush the trailing partial window (duration % window != 0) so
+        # the tail queries reach hit_rate_series — identical to the
+        # fastsim WindowRecorder's end-of-run flush.
+        if window > 0 and sim.now - start > next_window - window:
+            close_window(sim.now - start)
 
         report.messages_by_category = self.network.metrics.totals_by_category()
         if report.index_size_series:

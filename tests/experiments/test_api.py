@@ -395,3 +395,69 @@ class TestReplicates:
         restored = load_result_json(result.to_json())
         assert restored.replication == result.replication
         assert restored.figure.series == result.figure.series
+
+
+class TestJobsParameter:
+    """ISSUE 4: the jobs knob — validation, provenance, and parity."""
+
+    def test_jobs_validation(self):
+        with pytest.raises(ParameterError):
+            ExperimentParams(jobs=-1)
+        with pytest.raises(ParameterError):
+            ExperimentParams(jobs=2.5)  # type: ignore[arg-type]
+        assert ExperimentParams(jobs=0).jobs == 0  # 0 = cpu count
+
+    def test_simulated_specs_accept_jobs(self):
+        from repro.experiments.api import iter_specs
+
+        for spec in iter_specs():
+            if spec.kind == "simulated":
+                assert "jobs" in spec.accepts, spec.name
+
+    def test_analytical_specs_reject_jobs(self):
+        with pytest.raises(ParameterError, match="does not take"):
+            run("fig1", jobs=2)
+
+    def test_jobs_recorded_in_provenance(self):
+        result = run(
+            "sim", engine="vectorized", duration=20.0, scale=0.02, jobs=2
+        )
+        assert result.parameters["jobs"] == 2
+
+    def test_parallel_run_matches_sequential(self):
+        sequential = run(
+            "sim", engine="vectorized", duration=20.0, scale=0.02
+        )
+        parallel = run(
+            "sim", engine="vectorized", duration=20.0, scale=0.02, jobs=2
+        )
+        assert parallel.figure.series == sequential.figure.series
+
+    def test_parallel_replicates_match_sequential(self):
+        sequential = run(
+            "sim", engine="vectorized", duration=20.0, scale=0.02,
+            replicates=2,
+        )
+        parallel = run(
+            "sim", engine="vectorized", duration=20.0, scale=0.02,
+            replicates=2, jobs=2,
+        )
+        assert parallel.figure.series == sequential.figure.series
+        assert parallel.replication == sequential.replication
+
+    def test_cli_jobs_flag(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main([
+            "sim", "--engine", "vectorized", "--duration", "20",
+            "--scale", "0.02", "--jobs", "2",
+        ]) == 0
+        assert "sim" in capsys.readouterr().out
+
+    def test_cli_jobs_flag_filtered_for_analytical(self, capsys):
+        from repro.experiments.runner import main
+
+        # Analytical experiments don't accept jobs; the flag is filtered
+        # like --engine rather than failing the run.
+        assert main(["table1", "--jobs", "2"]) == 0
+        assert "Table 1" in capsys.readouterr().out

@@ -111,3 +111,31 @@ class TestSweepGridWithChurn:
         assert churned != quiet
         derived = optimal_cells(fig, axes)
         assert len(derived.x_values) == 2  # availability splits the slice
+
+
+class TestParallelSweep:
+    """sweep_grid(jobs=N): same grid, fanned over a process pool."""
+
+    def _axes(self):
+        return GridAxes(
+            ttl_factors=(0.5, 1.0), alphas=(1.2,), query_freqs=(1 / 30,)
+        )
+
+    def test_parallel_grid_matches_sequential(self):
+        scenario = simulation_scenario(scale=0.02)
+        sequential = sweep_grid(
+            self._axes(), scenario=scenario, duration=30.0, jobs=1
+        )
+        parallel = sweep_grid(
+            self._axes(), scenario=scenario, duration=30.0, jobs=2
+        )
+        assert parallel.x_values == sequential.x_values
+        assert parallel.series == sequential.series
+
+    def test_invalid_jobs_rejected(self):
+        import pytest as _pytest
+
+        from repro.errors import ParameterError as _ParameterError
+
+        with _pytest.raises(_ParameterError):
+            sweep_grid(self._axes(), duration=30.0, jobs=-1)

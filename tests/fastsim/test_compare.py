@@ -111,3 +111,42 @@ class TestAgreementHarness:
         assert len(agreement.event_hit_rates) == 1
         assert len(agreement.fast_hit_rates) == 1
         assert agreement.fast_seconds < agreement.event_seconds
+
+
+class TestChurnCalibrationSeed:
+    """ISSUE 4 satellite: compare_engines_churn exposes calibration_seed
+    like compare_engines, threading it into the base per-op costs that
+    churn_costs_for anchors to."""
+
+    def test_calibration_seed_equals_explicit_costs(self, tiny_params):
+        from repro.fastsim.compare import compare_engines_churn
+        from repro.pdht.config import PdhtConfig
+
+        config = PdhtConfig.from_scenario(tiny_params)
+        via_seed = compare_engines_churn(
+            tiny_params,
+            0.7,
+            config=config,
+            duration=30.0,
+            seeds=(0,),
+            calibration_seed=5,
+        )
+        via_costs = compare_engines_churn(
+            tiny_params,
+            0.7,
+            config=config,
+            duration=30.0,
+            seeds=(0,),
+            costs=calibrate_costs(tiny_params, config, seed=5),
+        )
+        assert via_seed.fast_hit_rates == via_costs.fast_hit_rates
+        assert via_seed.fast_costs == via_costs.fast_costs
+
+    def test_default_matches_seed_zero(self, tiny_params):
+        # The default stays the historical seed-0 substrate.
+        from repro.pdht.config import PdhtConfig
+
+        config = PdhtConfig.from_scenario(tiny_params)
+        assert calibrate_costs(tiny_params, config, seed=0) == calibrate_costs(
+            tiny_params, config
+        )

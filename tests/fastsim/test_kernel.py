@@ -492,3 +492,100 @@ class TestChurnCostModel:
             churn_costs=turnover,
         )
         assert churny.hit_rate < clean.hit_rate
+
+
+class TestZeroTtlSelectionBranch:
+    """Direct unit coverage of _step_selection's keyTtl == 0 branch
+    (ISSUE 4 satellite — previously only exercised indirectly)."""
+
+    def _kernel(self, small_params):
+        config = PdhtConfig.from_scenario(small_params)
+        kernel = FastSimKernel(small_params, config=config, seed=0)
+        kernel.set_key_ttl(0.0)
+        return kernel
+
+    def test_live_entry_serves_one_hit_then_dies(self, small_params):
+        import numpy as np
+
+        from repro.fastsim.metrics import FastSimReport
+
+        kernel = self._kernel(small_params)
+        now = 1.0
+        # Key 5 survives from an earlier positive-TTL era; key 6 is cold.
+        kernel.state.expires_at[5] = now + 100.0
+        kernel.state.ever_indexed[5] = True
+        totals = {category: 0.0 for category in MessageCategory}
+        report = FastSimReport(
+            strategy="partialSelection", params=small_params, duration=1.0
+        )
+        keys = np.array([5, 5, 6])
+        hits = kernel._step_selection(now, keys, totals, report)
+
+        # One hit (key 5's first occurrence); its own hit kills it.
+        assert hits == 1
+        assert report.index_hits == 1
+        assert kernel.state.expires_at[5] == now  # dead for any later query
+        # The duplicate occurrence of 5 misses and counts as reinsertion,
+        # the cold key 6 misses cold.
+        assert report.reinsertions == 1
+        assert report.cold_misses == 1
+        assert int(kernel.state.key_misses[5]) == 1
+        assert int(kernel.state.key_misses[6]) == 1
+        # Both misses resolve (no churn) and re-insert — but with ttl 0
+        # the fresh inserts expire on arrival.
+        assert report.insertions == 2
+        assert report.answered == 3
+        assert report.unresolved == 0
+        assert kernel.state.index_size(now) == 0
+        assert bool(kernel.state.ever_indexed[6])
+
+    def test_zero_ttl_cost_accounting(self, small_params):
+        import numpy as np
+
+        from repro.fastsim.metrics import FastSimReport
+
+        kernel = self._kernel(small_params)
+        totals = {category: 0.0 for category in MessageCategory}
+        report = FastSimReport(
+            strategy="partialSelection", params=small_params, duration=1.0
+        )
+        keys = np.array([1, 2, 3])
+        kernel._step_selection(2.0, keys, totals, report)
+        costs = kernel.costs
+        # Every occurrence misses, resolves, and re-inserts.
+        assert totals[MessageCategory.INDEX_SEARCH] == pytest.approx(
+            costs.lookup * (3 + 3)
+        )
+        assert totals[MessageCategory.REPLICA_FLOOD] == pytest.approx(
+            costs.flood * (3 + 3)
+        )
+        assert totals[MessageCategory.UNSTRUCTURED_SEARCH] == pytest.approx(
+            costs.walk * 3
+        )
+
+
+class TestStrategySetup:
+    def test_matches_kernel_derivation(self, small_params):
+        from repro.fastsim.kernel import strategy_setup
+
+        config = PdhtConfig.from_scenario(small_params)
+        for strategy in (
+            "noIndex", "indexAll", "partialIdeal", "partialSelection"
+        ):
+            key_ttl, max_rank, num_members = strategy_setup(
+                small_params, config, strategy
+            )
+            kernel = FastSimKernel(
+                small_params, config=config, strategy=strategy
+            )
+            assert kernel.key_ttl == key_ttl
+            assert kernel._max_rank == max_rank
+            assert kernel.state.num_members == num_members
+
+    def test_unknown_strategy_rejected(self, small_params):
+        from repro.fastsim.kernel import strategy_setup
+
+        with pytest.raises(ParameterError):
+            strategy_setup(
+                small_params, PdhtConfig.from_scenario(small_params), "bogus"
+            )

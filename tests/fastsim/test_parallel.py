@@ -1,0 +1,131 @@
+"""Tests for the multi-process job runner (repro.fastsim.parallel)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments.scenario import simulation_scenario
+from repro.fastsim import run_fastsim
+from repro.fastsim.parallel import (
+    FastSimJob,
+    resolve_jobs,
+    resolve_worker_count,
+    run_many,
+)
+from repro.pdht.config import PdhtConfig
+
+SCALE = 0.02
+DURATION = 40.0
+
+
+@pytest.fixture(scope="module")
+def params():
+    return simulation_scenario(scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def config(params):
+    return PdhtConfig.from_scenario(params)
+
+
+@pytest.fixture(scope="module")
+def strategy_jobs(params, config):
+    return [
+        FastSimJob(
+            params=params, strategy=name, seed=3, duration=DURATION,
+            config=config,
+        )
+        for name in ("noIndex", "indexAll", "partialIdeal", "partialSelection")
+    ]
+
+
+class TestWorkerCount:
+    def test_zero_means_cpu_count(self):
+        import os
+
+        assert resolve_worker_count(0) == (os.cpu_count() or 1)
+
+    def test_positive_passthrough(self):
+        assert resolve_worker_count(1) == 1
+        assert resolve_worker_count(7) == 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            resolve_worker_count(-1)
+
+
+class TestResolveJobs:
+    def test_costs_resolved_in_parent(self, strategy_jobs):
+        resolved = resolve_jobs(strategy_jobs)
+        assert all(job.costs is not None for job in resolved)
+        assert all(job.config is not None for job in resolved)
+        # Original specs untouched (frozen dataclass, replace semantics).
+        assert all(job.costs is None for job in strategy_jobs)
+
+    def test_resolved_costs_match_kernel_derivation(self, strategy_jobs):
+        from repro.fastsim.compare import costs_for
+        from repro.fastsim.kernel import strategy_setup
+
+        for job in resolve_jobs(strategy_jobs):
+            _, _, num_members = strategy_setup(
+                job.params, job.config, job.strategy
+            )
+            assert job.costs == costs_for(
+                job.params, job.config, num_members
+            )
+
+    def test_jobs_are_picklable_once_resolved(self, strategy_jobs):
+        for job in resolve_jobs(strategy_jobs):
+            clone = pickle.loads(pickle.dumps(job))
+            assert clone.strategy == job.strategy
+            assert clone.costs == job.costs
+
+
+class TestRunMany:
+    def test_sequential_matches_direct_run(self, strategy_jobs, params, config):
+        reports = run_many(strategy_jobs, workers=1)
+        assert [r.strategy for r in reports] == [
+            j.strategy for j in strategy_jobs
+        ]
+        for job, report in zip(strategy_jobs, reports):
+            direct = run_fastsim(
+                params,
+                config=config,
+                duration=DURATION,
+                strategy=job.strategy,
+                seed=job.seed,
+            )
+            assert report.total_messages == direct.total_messages
+            assert report.hit_rate == direct.hit_rate
+
+    def test_pool_matches_sequential_bit_for_bit(self, strategy_jobs):
+        sequential = run_many(strategy_jobs, workers=1)
+        pooled = run_many(strategy_jobs, workers=2)
+        for a, b in zip(sequential, pooled):
+            assert a.strategy == b.strategy
+            assert a.total_messages == b.total_messages
+            assert a.hit_rate == b.hit_rate
+            assert a.messages_by_category == b.messages_by_category
+
+    def test_windowed_series_survive_the_pool(self, params, config):
+        job = FastSimJob(
+            params=params, seed=1, duration=DURATION, config=config,
+            window=10.0,
+        )
+        (pooled,) = run_many([job], workers=1)
+        direct = run_fastsim(
+            params, config=config, duration=DURATION, seed=1, window=10.0
+        )
+        assert pooled.hit_rate_series == direct.hit_rate_series
+
+    def test_single_job_short_circuits_pool(self, params, config):
+        # One job never pays for a pool, whatever workers says.
+        job = FastSimJob(params=params, seed=0, duration=20.0, config=config)
+        (report,) = run_many([job], workers=8)
+        assert report.queries > 0
+
+    def test_empty_job_list(self):
+        assert run_many([], workers=4) == []

@@ -83,3 +83,145 @@ class TestFlashCrowd:
     def test_invalid_cold_rank_rejected(self, zipf, rng):
         with pytest.raises(ParameterError):
             BatchFlashCrowdWorkload(zipf, rng, crowd_time=0.0, cold_rank=0)
+
+
+def _fresh_rng(seed: int = 1234) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence(seed))
+
+
+class TestDrawRounds:
+    """Segment-batched draws must replay the per-round path bit-for-bit."""
+
+    def _per_round(self, workload, start, counts):
+        ranks_parts, keys_parts = [], []
+        for i, count in enumerate(counts):
+            ranks, keys = workload.draw_round(start + i + 1.0, int(count))
+            ranks_parts.append(ranks)
+            keys_parts.append(keys)
+        return np.concatenate(ranks_parts), np.concatenate(keys_parts)
+
+    @pytest.mark.parametrize("make", [
+        lambda z: BatchZipfWorkload(z, _fresh_rng()),
+        lambda z: BatchShuffledZipfWorkload(z, _fresh_rng(), shift_time=4.0),
+        lambda z: BatchFlashCrowdWorkload(z, _fresh_rng(), crowd_time=4.0),
+    ])
+    def test_batched_equals_per_round(self, zipf, make):
+        counts = np.array([3, 0, 7, 5, 2, 9, 0, 4])
+        batched = make(zipf)
+        ranks, keys, offsets = batched.draw_rounds(0.0, counts)
+        looped = make(zipf)
+        loop_ranks, loop_keys = self._per_round(looped, 0.0, counts)
+        assert np.array_equal(ranks, loop_ranks)
+        assert np.array_equal(keys, loop_keys)
+        assert np.array_equal(offsets, np.concatenate(([0], np.cumsum(counts))))
+        # Mappings end in the same (post-shift) state too.
+        assert np.array_equal(batched.rank_to_key, looped.rank_to_key)
+
+    def test_subclass_overriding_only_maybe_shift_still_shifts(self, zipf):
+        # The base shift_pending defaults to True, so a BatchWorkload
+        # subclass that only implements maybe_shift keeps per-round
+        # semantics under draw_rounds instead of silently never shifting.
+        # (Subclassing BatchZipfWorkload instead would inherit its
+        # stationary always-False peek — that opt-in is the subclass's
+        # own contract to keep consistent.)
+        from repro.fastsim.workload import BatchWorkload
+
+        class ReversingWorkload(BatchWorkload):
+            def maybe_shift(self, now: float) -> bool:
+                if now >= 3.0 and not getattr(self, "_done", False):
+                    self.rank_to_key = self.rank_to_key[::-1].copy()
+                    self._done = True
+                    return True
+                return False
+
+        batched = ReversingWorkload(zipf, _fresh_rng())
+        counts = np.array([5, 5, 5, 5])
+        ranks, keys, offsets = batched.draw_rounds(0.0, counts)
+        assert getattr(batched, "_done", False)
+        loop_ranks, loop_keys = self._per_round(
+            ReversingWorkload(zipf, _fresh_rng()), 0.0, counts
+        )
+        assert np.array_equal(ranks, loop_ranks)
+        assert np.array_equal(keys, loop_keys)
+
+    def test_shift_applies_between_correct_rounds(self, zipf):
+        # Shift at t=3: rounds 1-2 use the identity mapping, 3+ the
+        # permuted one — exactly like per-round draw_round calls.
+        workload = BatchShuffledZipfWorkload(zipf, _fresh_rng(), shift_time=3.0)
+        counts = np.array([50, 50, 50, 50])
+        ranks, keys, offsets = workload.draw_rounds(0.0, counts)
+        pre = slice(offsets[0], offsets[2])
+        assert np.array_equal(keys[pre], ranks[pre] - 1)  # identity era
+        post = slice(offsets[2], offsets[4])
+        assert not np.array_equal(keys[post], ranks[post] - 1)
+        assert np.array_equal(
+            keys[post], workload.rank_to_key[ranks[post] - 1]
+        )
+
+    def test_rng_stream_continues_across_calls(self, zipf):
+        whole = BatchZipfWorkload(zipf, _fresh_rng())
+        split = BatchZipfWorkload(zipf, _fresh_rng())
+        counts = np.array([4, 6, 1, 8])
+        ranks_whole, _, _ = whole.draw_rounds(0.0, counts)
+        first, _, _ = split.draw_rounds(0.0, counts[:2])
+        second, _, _ = split.draw_rounds(2.0, counts[2:])
+        assert np.array_equal(ranks_whole, np.concatenate([first, second]))
+
+    def test_negative_counts_rejected(self, zipf):
+        with pytest.raises(ParameterError):
+            BatchZipfWorkload(zipf, _fresh_rng()).draw_rounds(
+                0.0, np.array([2, -1])
+            )
+
+    def test_empty_counts(self, zipf):
+        ranks, keys, offsets = BatchZipfWorkload(zipf, _fresh_rng()).draw_rounds(
+            0.0, np.array([], dtype=np.int64)
+        )
+        assert ranks.size == keys.size == 0
+        assert list(offsets) == [0]
+
+    def test_shift_pending_is_a_pure_peek(self, zipf):
+        workload = BatchShuffledZipfWorkload(zipf, _fresh_rng(), shift_time=2.0)
+        before = workload.rank_to_key.copy()
+        assert workload.shift_pending(5.0) is True
+        assert workload.shift_pending(5.0) is True  # no state consumed
+        assert np.array_equal(workload.rank_to_key, before)
+        assert workload.maybe_shift(5.0) is True
+        assert workload.shift_pending(5.0) is False
+
+
+class TestEventEngineParity:
+    """Batch and event workloads share shift semantics and RNG streams:
+    given the same generator state they must produce the same post-shift
+    rank -> key mapping (ISSUE 4 coverage satellite)."""
+
+    def test_shuffled_mapping_matches_event_workload(self, zipf):
+        from repro.workload.queries import ShuffledZipfWorkload
+
+        batch = BatchShuffledZipfWorkload(zipf, _fresh_rng(7), shift_time=10.0)
+        event = ShuffledZipfWorkload(zipf, _fresh_rng(7), shift_time=10.0)
+        assert batch.maybe_shift(10.0) and event.maybe_shift(10.0)
+        assert np.array_equal(batch.rank_to_key, event._rank_to_key)
+        for rank in (1, 2, zipf.n_keys):
+            assert batch.key_for_rank(rank) == event.key_for_rank(rank)
+
+    def test_flash_crowd_mapping_matches_event_workload(self, zipf):
+        from repro.workload.queries import FlashCrowdWorkload
+
+        batch = BatchFlashCrowdWorkload(zipf, _fresh_rng(7), crowd_time=5.0)
+        event = FlashCrowdWorkload(zipf, _fresh_rng(7), crowd_time=5.0)
+        assert batch.maybe_shift(5.0) and event.maybe_shift(5.0)
+        assert np.array_equal(batch.rank_to_key, event._rank_to_key)
+
+    def test_shuffled_draw_streams_match_through_the_shift(self, zipf):
+        """Same seed, same per-round call pattern -> the event workload's
+        QueryEvent stream and the batch arrays are the same queries."""
+        from repro.workload.queries import ShuffledZipfWorkload
+
+        batch = BatchShuffledZipfWorkload(zipf, _fresh_rng(3), shift_time=3.0)
+        event = ShuffledZipfWorkload(zipf, _fresh_rng(3), shift_time=3.0)
+        for now in (1.0, 2.0, 3.0, 4.0):
+            ranks, keys = batch.draw_round(now, 40)
+            events = event.draw(now, 40)
+            assert [int(r) for r in ranks] == [e.rank for e in events]
+            assert [int(k) for k in keys] == [e.key_index for e in events]

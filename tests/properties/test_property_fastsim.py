@@ -124,6 +124,20 @@ def test_churn_agreement_within_five_percent(availability):
     assert agreement.cost_rel_diff <= 0.05, agreement.summary()
 
 
+#: Per-strategy total-cost bounds for the non-selection churn paths.
+#: noIndex and partialIdeal tightened from PR 3's uniform 0.12 (they sit
+#: at ~0.01 / ~0.06 off). indexAll carries 0.15: its gap is the analytic
+#: lookup/maintenance member-rescaling approximation, which PR 3's
+#: no-churn update-flood overcharge happened to mask — the update path
+#: now charges the honest churn-aware costs and is pinned tightly by
+#: test_update_traffic_tracks_event_engine_under_churn instead.
+CHURN_STRATEGY_COST_REL = {
+    "noIndex": 0.05,
+    "indexAll": 0.15,
+    "partialIdeal": 0.10,
+}
+
+
 def test_other_strategies_track_event_engine_under_churn():
     """The lifted dispatch gate covered *every* figure, so the
     non-selection strategies' churn paths (noIndex walk charging,
@@ -160,8 +174,73 @@ def test_other_strategies_track_event_engine_under_churn():
             fast_cost += fast.total_messages
             event_hit += event.hit_rate
             fast_hit += fast.hit_rate
-        assert fast_cost == pytest.approx(event_cost, rel=0.12), name
+        assert fast_cost == pytest.approx(
+            event_cost, rel=CHURN_STRATEGY_COST_REL[name]
+        ), name
         assert fast_hit / 2 == pytest.approx(event_hit / 2, abs=0.05), name
+
+
+def test_update_traffic_tracks_event_engine_under_churn():
+    """The `_step_updates` churn fix (ISSUE 4): proactive updates charge
+    churn-aware costs, not the no-churn lookup/flood.
+
+    At availability 0.9 with the update frequency raised until update
+    traffic dominates, the REPLICA_FLOOD category is *pure* update flood
+    for indexAll and partialIdeal (their hit paths are preloaded and
+    flood-free — the event engine records zero flood at update_freq 0),
+    so comparing that category across engines pins the update charge
+    directly. partialIdeal also exercises the undersized-group flood
+    rescale: its threshold-sized DHT merges into one group far smaller
+    than the replication factor, whose floods the old flat charge
+    overestimated several-fold.
+    """
+    from dataclasses import replace
+
+    from repro.analysis.threshold import solve_threshold
+    from repro.fastsim import calibrate_costs
+    from repro.fastsim.compare import churn_config_for_availability
+    from repro.pdht.strategies import STRATEGY_CLASSES
+    from repro.sim.metrics import MessageCategory
+
+    base = simulation_scenario(scale=SCALE)
+    config = replace(PdhtConfig.from_scenario(base), walk_ttl=CHURN_WALK_TTL)
+    churn = churn_config_for_availability(0.9)
+    for name, update_freq in (("indexAll", 0.02), ("partialIdeal", 0.01)):
+        params = replace(base, update_freq=update_freq)
+        costs = calibrate_costs(params, config)
+        event_flood = fast_flood = event_total = fast_total = 0.0
+        for seed in (0, 1):
+            event = STRATEGY_CLASSES[name](
+                params, config=config, seed=seed, churn=churn
+            ).run(120.0)
+            fast = run_fastsim(
+                params,
+                config=config,
+                duration=120.0,
+                seed=seed,
+                strategy=name,
+                churn=churn,
+                costs=costs,
+            )
+            event_flood += event.messages_by_category.get(
+                MessageCategory.REPLICA_FLOOD, 0.0
+            )
+            fast_flood += fast.messages_by_category.get(
+                MessageCategory.REPLICA_FLOOD, 0.0
+            )
+            event_total += event.total_messages
+            fast_total += fast.total_messages
+        assert fast_flood == pytest.approx(event_flood, rel=0.20), name
+        assert fast_total == pytest.approx(event_total, rel=0.10), name
+        if name == "partialIdeal":
+            # Pin the failure mode: the flat no-churn flood charge (what
+            # the kernel used to pay per update) overestimates the
+            # undersized group's flood several-fold.
+            updates = int(
+                solve_threshold(params).max_rank * update_freq * 120.0
+            )
+            flat_charge = costs.flood * updates
+            assert flat_charge / event_flood > 3.0
 
 
 def test_churn_underestimate_regression():
