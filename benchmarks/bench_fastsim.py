@@ -17,6 +17,9 @@ under pytest) when any drifts:
 * churn: hit rate and total cost within 5% of the event engine at
   availabilities 0.9 and 0.5;
 * staleness: stale hit fraction and hit rate within 5%;
+* workloads: a GradualDrift run at 100k peers stays within 1.2x of the
+  stationary kernel wall-clock (the segment-batched draw path must not
+  regress into a per-round loop);
 * jobs: the default sweep grid at 100k peers reaches >= 2.5x wall-clock
   speedup at ``jobs=4`` vs ``jobs=1`` with identical cell values
   (enforced only on runners with >= 4 CPUs; always recorded).
@@ -119,6 +122,67 @@ def _churn_record(availability: float) -> dict[str, object]:
     }
 
 
+#: A non-stationary workload may cost at most this factor of the
+#: stationary kernel wall-clock: GradualDrift splits the batched query
+#: draw into per-segment sample_ranks calls, and this gate keeps that
+#: segmentation from regressing into a per-round loop.
+WORKLOADS_SLOWDOWN_CEILING = 1.2
+
+
+def _workloads_record() -> dict[str, object]:
+    """Segment-batched draw path under GradualDrift vs stationary.
+
+    Runs the 100k-peer scenario through the kernel with the stationary
+    stream and with a GradualDrift model (a mapping boundary every 25
+    rounds — 24 segments over the run). Wall-clock is the kernel's own
+    ``elapsed_seconds`` (construction and cost resolution excluded),
+    best of two runs per workload to damp runner noise.
+    """
+    import numpy as np
+
+    from repro.analysis.zipf import ZipfDistribution
+    from repro.experiments.scenario import fastsim_scenario
+    from repro.workloads import GradualDrift
+
+    scenario = fastsim_scenario(scale=5.0)
+    duration = 600.0
+    zipf = ZipfDistribution(scenario.n_keys, scenario.alpha)
+
+    def best_of_two(workload_factory):
+        seconds = []
+        hit_rate = 0.0
+        for attempt in range(2):
+            report = run_fastsim(
+                scenario, duration=duration, seed=0,
+                workload=workload_factory(),
+            )
+            seconds.append(report.elapsed_seconds)
+            hit_rate = report.hit_rate
+        return min(seconds), hit_rate
+
+    stationary_seconds, stationary_hit = best_of_two(lambda: None)
+    drift = GradualDrift(period=duration / 24)
+    drift_seconds, drift_hit = best_of_two(
+        lambda: drift.build_batch(
+            zipf, np.random.default_rng(np.random.SeedSequence(0))
+        )
+    )
+    return {
+        "scenario": "workloads",
+        "num_peers": scenario.num_peers,
+        "duration_rounds": duration,
+        "stationary_seconds": stationary_seconds,
+        "drift_seconds": drift_seconds,
+        "slowdown": (
+            drift_seconds / stationary_seconds
+            if stationary_seconds > 0
+            else float("inf")
+        ),
+        "stationary_hit_rate": stationary_hit,
+        "drift_hit_rate": drift_hit,
+    }
+
+
 #: The jobs scenario's pool size and the speedup it must reach on a
 #: runner with at least that many CPUs.
 JOBS_WORKERS = 4
@@ -210,6 +274,13 @@ def enforce(payload: dict[str, object]) -> list[str]:
                     f"{100 * drift:.2f}% (> {100 * TOLERANCE:.0f}%): "
                     f"{record['summary']}"
                 )
+    workloads = payload["workloads_record"]
+    if workloads["slowdown"] > WORKLOADS_SLOWDOWN_CEILING:
+        violations.append(
+            f"GradualDrift kernel run {workloads['slowdown']:.2f}x the "
+            f"stationary wall-clock (> {WORKLOADS_SLOWDOWN_CEILING}x): "
+            "the segment-batched draw path regressed"
+        )
     jobs = payload["jobs_record"]
     if not jobs["cells_identical"]:
         violations.append(
@@ -260,6 +331,7 @@ def run_benchmark() -> dict[str, object]:
         "duration_rounds": DURATION,
         "records": records,
         "gate_records": gate_records,
+        "workloads_record": _workloads_record(),
         "jobs_record": _jobs_record(),
     }
     JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -287,6 +359,13 @@ if __name__ == "__main__":
     print(_render(payload["records"]))
     for record in payload["gate_records"]:
         print(f"{record['scenario']}: {record['summary']}")
+    workloads = payload["workloads_record"]
+    print(
+        f"workloads: GradualDrift at {workloads['num_peers']} peers "
+        f"{workloads['slowdown']:.2f}x stationary wall-clock "
+        f"({workloads['stationary_seconds']:.2f}s -> "
+        f"{workloads['drift_seconds']:.2f}s)"
+    )
     jobs = payload["jobs_record"]
     print(
         f"jobs: {jobs['cells']}-cell sweep at {jobs['num_peers']} peers, "

@@ -47,6 +47,9 @@ Subpackages:
 * :mod:`repro.dht` — Chord / Pastry / P-Grid backends + maintenance;
 * :mod:`repro.replication` — replica subnetworks, rumor spreading;
 * :mod:`repro.workload` — news corpus, metadata keys, Zipf query streams;
+* :mod:`repro.workloads` — composable non-stationary workload models
+  (rank swaps, gradual drift, flash crowds, diurnal cycles, trace
+  replay) consumable by both engines;
 * :mod:`repro.pdht` — the query-adaptive partial DHT itself;
 * :mod:`repro.fastsim` — vectorized batch kernel for 10^5-10^6-peer runs;
 * :mod:`repro.experiments` — the Experiment API (typed specs,
@@ -88,8 +91,9 @@ from repro.fastsim import (
     run_fastsim,
 )
 from repro.errors import ReproError
+from repro.workloads import WorkloadModel, model_from_name
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from repro.experiments.api import (  # noqa: E402
     ExperimentResult,
@@ -119,6 +123,8 @@ __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
     "run_experiment",
+    "WorkloadModel",
+    "model_from_name",
     "ReproError",
     "__version__",
 ]

@@ -46,6 +46,7 @@ from repro.experiments.figures import (
     simulation_comparison,
     simulated_figure1,
     adaptivity_experiment,
+    adaptivity_tracking,
     churn_experiment,
     staleness_experiment,
 )
@@ -74,7 +75,12 @@ from repro.experiments.api import (
     iter_specs,
 )
 from repro.experiments.api import run as run_experiment
-from repro.experiments.sweeps import GridAxes, GridPoint, sweep_grid
+from repro.experiments.sweeps import (
+    GridAxes,
+    GridPoint,
+    optimal_cells,
+    sweep_grid,
+)
 
 __all__ = [
     "paper_scenario",
@@ -95,6 +101,7 @@ __all__ = [
     "simulation_comparison",
     "simulated_figure1",
     "adaptivity_experiment",
+    "adaptivity_tracking",
     "churn_experiment",
     "staleness_experiment",
     "TableSeries",
@@ -126,5 +133,6 @@ __all__ = [
     "run_experiment",
     "GridAxes",
     "GridPoint",
+    "optimal_cells",
     "sweep_grid",
 ]

@@ -89,6 +89,9 @@ class ExperimentParams:
     scale: Optional[float] = None
     shift_at: Optional[float] = None
     window: Optional[float] = None
+    #: Workload model preset (repro.workloads.WORKLOAD_MODEL_NAMES, or
+    #: ``trace:<path>`` for a recorded trace).
+    workload: Optional[str] = None
     #: Run the experiment over this many consecutive seeds and aggregate
     #: the series with confidence intervals (repro.experiments.stats).
     replicates: Optional[int] = None
@@ -122,6 +125,10 @@ class ExperimentParams:
                 f"jobs must be a non-negative integer (0 = cpu count), "
                 f"got {self.jobs!r}"
             )
+        if self.workload is not None:
+            from repro.workloads import validate_workload_name
+
+            validate_workload_name(self.workload)
 
     def to_dict(self) -> dict[str, object]:
         """Only the fields that are set (for provenance records)."""
@@ -681,6 +688,30 @@ def _adaptivity(ctx: ExperimentContext) -> FigureSeries:
         window=ctx.window,
         seed=ctx.seed,
         engine=ctx.engine,
+    )
+
+
+@experiment(
+    "adaptivity-tracking",
+    "Extension - selection vs partialIdeal oracle across workload models",
+    SIMULATED,
+    engines=("vectorized", "event"),
+    accepts={"engine", "duration", "seed", "scale", "shift_at", "window",
+             "workload", "replicates", "jobs"},
+    duration=1200.0,
+    seed=0,
+    scale=SIMULATION_SCALE,
+)
+def _adaptivity_tracking(ctx: ExperimentContext) -> FigureSeries:
+    return figures.adaptivity_tracking(
+        params=ctx.scenario,
+        duration=ctx.duration,
+        window=ctx.window,
+        shift_at=ctx.params.shift_at,
+        seed=ctx.seed,
+        engine=ctx.engine,
+        workload=ctx.params.workload,
+        jobs=ctx.jobs,
     )
 
 

@@ -143,6 +143,14 @@ def main(argv: list[str] | None = None) -> int:
         "0 = one per CPU",
     )
     parser.add_argument(
+        "--workload",
+        default=None,
+        metavar="MODEL",
+        help="workload model for experiments that accept one "
+        "(stationary, rank-swap, gradual-drift, flash-crowd, diurnal, "
+        "or trace:<path> to replay a recorded query trace)",
+    )
+    parser.add_argument(
         "--format",
         choices=FORMATS,
         default="text",
@@ -184,6 +192,7 @@ def main(argv: list[str] | None = None) -> int:
         "duration": args.duration,
         "replicates": args.replicates,
         "jobs": args.jobs,
+        "workload": args.workload,
     }
     for name in names:
         spec = get_spec(name)

@@ -57,6 +57,7 @@ class GridPoint:
     alpha: float
     query_freq: float
     availability: float = 1.0
+    workload: str = "stationary"
 
     def label(self) -> str:
         text = (
@@ -65,13 +66,18 @@ class GridPoint:
         )
         if self.availability != 1.0:
             text += f"|av={self.availability:g}"
+        if self.workload != "stationary":
+            text += f"|w={self.workload}"
         return text
 
     def slice_label(self) -> str:
-        """The (availability, alpha, fQry) slice this cell belongs to."""
+        """The (workload, availability, alpha, fQry) slice this cell
+        belongs to (everything but the swept TTL axis)."""
         text = f"a={self.alpha:g}|{format_period(self.query_freq)}"
         if self.availability != 1.0:
             text += f"|av={self.availability:g}"
+        if self.workload != "stationary":
+            text += f"|w={self.workload}"
         return text
 
 
@@ -90,6 +96,9 @@ class GridAxes:
     alphas: tuple[float, ...] = (0.8, 1.2)
     query_freqs: tuple[float, ...] = (1 / 30, 1 / 600, 1 / 7200)
     availabilities: tuple[float, ...] = (1.0,)
+    #: Workload-model presets (repro.workloads); non-stationary cells run
+    #: the selection algorithm against that model's query stream.
+    workloads: tuple[str, ...] = ("stationary",)
 
     def __post_init__(self) -> None:
         for name, values in (
@@ -106,6 +115,12 @@ class GridAxes:
             raise ParameterError(
                 f"availabilities must be in (0, 1], got {self.availabilities}"
             )
+        if not self.workloads:
+            raise ParameterError("workloads must be non-empty")
+        from repro.workloads import validate_workload_name
+
+        for workload in self.workloads:
+            validate_workload_name(workload)
 
     @property
     def size(self) -> int:
@@ -114,19 +129,25 @@ class GridAxes:
             * len(self.alphas)
             * len(self.query_freqs)
             * len(self.availabilities)
+            * len(self.workloads)
         )
 
     def points(self) -> Iterator[GridPoint]:
         """Row-major iteration: fQry fastest, then alpha, then keyTtl,
-        then availability (so the default no-churn grid keeps its
-        historical cell order)."""
-        for availability in self.availabilities:
-            for ttl_factor in self.ttl_factors:
-                for alpha in self.alphas:
-                    for query_freq in self.query_freqs:
-                        yield GridPoint(
-                            ttl_factor, alpha, query_freq, availability
-                        )
+        then availability, then workload (so the default stationary
+        no-churn grid keeps its historical cell order)."""
+        for workload in self.workloads:
+            for availability in self.availabilities:
+                for ttl_factor in self.ttl_factors:
+                    for alpha in self.alphas:
+                        for query_freq in self.query_freqs:
+                            yield GridPoint(
+                                ttl_factor,
+                                alpha,
+                                query_freq,
+                                availability,
+                                workload,
+                            )
 
 
 def sweep_grid(
@@ -149,10 +170,19 @@ def sweep_grid(
     :func:`repro.fastsim.run_many` (``0`` = one worker per CPU); per-op
     costs are resolved once in this process before dispatch, and results
     are identical to the sequential run for any ``jobs`` value.
+
+    Cells with a non-stationary :attr:`GridAxes.workloads` entry run
+    that model's query stream (seeded per cell, so the grid stays
+    deterministic for any ``jobs`` value); under churn the per-op
+    calibration threads the model through (rank-permutation awareness).
     """
+    import numpy as np
+
+    from repro.analysis.zipf import ZipfDistribution
     from repro.fastsim.compare import churn_config_for_availability
     from repro.fastsim.parallel import FastSimJob, run_many
     from repro.pdht.config import PdhtConfig
+    from repro.workloads import model_from_name
 
     axes = axes or GridAxes()
     scenario = scenario or paper_scenario()
@@ -162,12 +192,20 @@ def sweep_grid(
     cells: list[ScenarioParameters] = []
     configs: list[PdhtConfig] = []
     grid_jobs: list[FastSimJob] = []
-    for point in axes.points():
+    for index, point in enumerate(axes.points()):
         cell = replace(scenario, alpha=point.alpha).with_query_freq(
             point.query_freq
         )
         config = PdhtConfig.from_scenario(cell)
         config = config.with_ttl(config.key_ttl * point.ttl_factor)
+        workload = None
+        if point.workload != "stationary":
+            workload = model_from_name(point.workload, duration).build_batch(
+                ZipfDistribution(cell.n_keys, cell.alpha),
+                np.random.default_rng(
+                    np.random.SeedSequence([seed, 0x57EED, index])
+                ),
+            )
         cells.append(cell)
         configs.append(config)
         grid_jobs.append(
@@ -177,6 +215,7 @@ def sweep_grid(
                 seed=seed,
                 duration=duration,
                 config=config,
+                workload=workload,
                 churn=churn_config_for_availability(point.availability),
             )
         )
@@ -276,31 +315,44 @@ def optimal_cells(grid: FigureSeries, axes: GridAxes) -> FigureSeries:
     )
 
 
-#: Serialised default-axes grids, keyed by (scenario, duration, seed) —
-#: deliberately *not* by jobs: the grid's values are identical for every
-#: worker count, so a jobs=4 run must be able to reuse a jobs=1 grid
-#: (and vice versa). Bounded FIFO, like the lru_cache it replaces.
-_GRID_CACHE: dict[tuple[ScenarioParameters, float, int], str] = {}
+#: Serialised default-axes grids, keyed by (scenario, duration, seed,
+#: workload) — deliberately *not* by jobs: the grid's values are
+#: identical for every worker count, so a jobs=4 run must be able to
+#: reuse a jobs=1 grid (and vice versa). Bounded FIFO, like the
+#: lru_cache it replaces.
+_GRID_CACHE: dict[tuple[ScenarioParameters, float, int, str], str] = {}
 _GRID_CACHE_SIZE = 4
 
 
+def _grid_axes(workload: Optional[str]) -> GridAxes:
+    """The ``sweep``/``sweep-optimal`` axes: default grid, optionally
+    restricted to one ``--workload`` model."""
+    if workload is None:
+        return GridAxes()
+    return GridAxes(workloads=(workload,))
+
+
 def _default_grid_json(
-    scenario: ScenarioParameters, duration: float, seed: int, jobs: int
+    scenario: ScenarioParameters,
+    duration: float,
+    seed: int,
+    jobs: int,
+    workload: Optional[str],
 ) -> str:
-    """One default-axes grid per (scenario, duration, seed), as JSON.
+    """One default-axes grid per (scenario, duration, seed, workload).
 
     ``sweep`` and ``sweep-optimal`` derive from the same expensive grid;
     caching the serialised form lets ``runner all`` pay for it once
     while every caller still gets a fresh, independently mutable
     :class:`FigureSeries`. ``jobs`` only parallelises a cache miss.
     """
-    key = (scenario, duration, seed)
+    key = (scenario, duration, seed, workload or "stationary")
     if key not in _GRID_CACHE:
         if len(_GRID_CACHE) >= _GRID_CACHE_SIZE:
             _GRID_CACHE.pop(next(iter(_GRID_CACHE)))
         _GRID_CACHE[key] = sweep_grid(
-            GridAxes(), scenario=scenario, duration=duration, seed=seed,
-            jobs=jobs,
+            _grid_axes(workload), scenario=scenario, duration=duration,
+            seed=seed, jobs=jobs,
         ).to_json()
     return _GRID_CACHE[key]
 
@@ -309,7 +361,10 @@ def _default_grid(ctx: ExperimentContext) -> FigureSeries:
     from repro.experiments.export import load_figure_json
 
     return load_figure_json(
-        _default_grid_json(ctx.scenario, ctx.duration, ctx.seed, ctx.jobs)
+        _default_grid_json(
+            ctx.scenario, ctx.duration, ctx.seed, ctx.jobs,
+            ctx.params.workload,
+        )
     )
 
 
@@ -322,7 +377,8 @@ def _default_grid(ctx: ExperimentContext) -> FigureSeries:
         "the grid runs Table 1 at full scale (and beyond, via --scale); "
         "only the vectorized batch kernel is tractable there"
     ),
-    accepts={"engine", "duration", "seed", "scale", "replicates", "jobs"},
+    accepts={"engine", "duration", "seed", "scale", "workload",
+             "replicates", "jobs"},
     duration=240.0,
     seed=0,
     scale=1.0,
@@ -340,10 +396,11 @@ def _sweep(ctx: ExperimentContext) -> FigureSeries:
         "derived from the paper-scale sweep grid; only the vectorized "
         "batch kernel is tractable there"
     ),
-    accepts={"engine", "duration", "seed", "scale", "replicates", "jobs"},
+    accepts={"engine", "duration", "seed", "scale", "workload",
+             "replicates", "jobs"},
     duration=240.0,
     seed=0,
     scale=1.0,
 )
 def _sweep_optimal(ctx: ExperimentContext) -> FigureSeries:
-    return optimal_cells(_default_grid(ctx), GridAxes())
+    return optimal_cells(_default_grid(ctx), _grid_axes(ctx.params.workload))

@@ -208,6 +208,7 @@ def calibrate_churn_costs(
     warmup: float = 60.0,
     rounds: float = 200.0,
     walk_probes: int = 600,
+    model: "WorkloadModel | None" = None,
 ) -> ChurnOpCosts:
     """Measure availability-dependent per-op costs on a churned substrate.
 
@@ -231,6 +232,13 @@ def calibrate_churn_costs(
     snapshot. The probe runs the *actual* :class:`ChurnConfig` (not just
     its stationary availability): session length controls how fast the
     online mask mixes, which the walk statistics inherit.
+
+    ``model`` makes the calibration *rank-permutation aware*: the probe
+    drives that :class:`~repro.workloads.models.WorkloadModel`'s own
+    query stream — realizing the model's rank -> key mapping per segment
+    — instead of the stationary identity mapping, so the hit-path
+    fractions (turnover misses, hit floods) and the hot-key lookup mix
+    reflect the shifting workload the kernel will actually run.
     """
     from repro.sim.metrics import MessageCategory
     from repro.workload.queries import ZipfQueryWorkload
@@ -255,7 +263,14 @@ def calibrate_churn_costs(
     for i in range(params.n_keys):
         net.publish(f"key-{i:06d}", i)
     zipf = ZipfDistribution(params.n_keys, params.alpha)
-    workload = ZipfQueryWorkload(zipf, net.streams.get("churn-cal-queries"))
+    if model is not None:
+        workload = model.build_event(
+            zipf, net.streams.get("churn-cal-queries")
+        )
+    else:
+        workload = ZipfQueryWorkload(
+            zipf, net.streams.get("churn-cal-queries")
+        )
     count_rng = net.streams.get("churn-cal-counts")
     probe_rng = net.streams.get("churn-cal-probes")
     rate = params.network_query_rate
@@ -287,13 +302,18 @@ def calibrate_churn_costs(
         )
     ]
     probe_serial = 0
+    rate_scale = getattr(workload, "rate_multiplier", None)
     for round_index in range(total_rounds):
         net.advance(1.0)
         now = net.simulation.now
         measuring = round_index >= measure_from
         if measuring and maintenance_start is None:
             maintenance_start = net.metrics.total(MessageCategory.MAINTENANCE)
-        count = int(count_rng.poisson(rate))
+        count = int(
+            count_rng.poisson(
+                rate * (rate_scale(now) if rate_scale is not None else 1.0)
+            )
+        )
         for event in workload.draw(now, count):
             key_index = event.key_index
             key = f"key-{key_index:06d}"
@@ -408,6 +428,7 @@ def churn_costs_for(
     churn: ChurnConfig,
     base: PerOpCosts,
     seed: int = 0,
+    model: "WorkloadModel | None" = None,
 ) -> ChurnOpCosts:
     """The kernel's default churn-cost policy, mirroring :func:`costs_for`:
     measure on a churned event-engine substrate while one is cheap to
@@ -436,8 +457,15 @@ def churn_costs_for(
     probe entirely.
     """
     if params.num_peers <= CALIBRATION_LIMIT:
-        calibrated = _churn_costs_cached(params, config, churn, seed)
-        return _rescale_members(calibrated, num_active_peers, config)
+        calibrated = _churn_costs_cached(params, config, churn, seed, model)
+        return _rescale_members(
+            calibrated,
+            num_active_peers,
+            config,
+            params=params,
+            churn=churn,
+            seed=seed,
+        )
     return ChurnOpCosts.structural(
         params,
         config,
@@ -456,38 +484,147 @@ def _churn_costs_cached(
     config: PdhtConfig,
     churn: ChurnConfig,
     seed: int,
+    model: "WorkloadModel | None" = None,
 ) -> ChurnOpCosts:
-    return calibrate_churn_costs(params, churn, config, seed=seed)
+    return calibrate_churn_costs(params, churn, config, seed=seed, model=model)
+
+
+@lru_cache(maxsize=64)
+def _churned_lookup_probe(
+    params: ScenarioParameters,
+    config: PdhtConfig,
+    availability: float,
+    num_active_peers: int,
+    seed: int,
+    probes: int = 256,
+    mask_epochs: int = 4,
+) -> float:
+    """Measured per-lookup messages on a churned substrate of a given size.
+
+    Builds the real DHT at ``num_active_peers`` members, draws several
+    stationary online masks (averaging out the single-realization noise a
+    short churn trajectory cannot mix away) and probes Zipf-drawn lookups
+    from random online members — the same hot-key mix the query path
+    routes. This is the measured stand-in the member rescale uses where
+    the analytic ``c_search_index`` ratio misrepresents how churn
+    reshapes lookups: offline routing references shorten some routes
+    (the responsible-peer hand-over) and detour others, with a net
+    effect that genuinely depends on the trie size.
+    """
+    from repro.errors import RoutingError
+
+    net = PdhtNetwork(
+        params, config, seed=seed, num_active_peers=num_active_peers
+    )
+    rng = np.random.default_rng(
+        np.random.SeedSequence([seed, 0x10CF, num_active_peers])
+    )
+    zipf = ZipfDistribution(params.n_keys, params.alpha)
+    all_members = list(net.dht.online_members())  # everyone online at build
+    now = net.simulation.now
+    total = 0.0
+    measured = 0
+    per_epoch = max(1, probes // mask_epochs)
+    for _ in range(mask_epochs):
+        # A fresh stationary mask per epoch, guaranteed non-empty.
+        mask = rng.random(len(all_members)) < availability
+        if not mask.any():
+            mask[int(rng.integers(0, len(all_members)))] = True
+        for member, online in zip(all_members, mask):
+            net.population.set_online(member, bool(online), now)
+        online_members = [m for m, o in zip(all_members, mask) if o]
+        for rank in zipf.sample_ranks(rng, per_epoch):
+            gateway = online_members[
+                int(rng.integers(0, len(online_members)))
+            ]
+            try:
+                total += net.dht.lookup(
+                    gateway, f"key-{int(rank) - 1:06d}"
+                ).messages
+            except RoutingError:
+                continue
+            measured += 1
+    # Leave the probe population online (the network object is discarded,
+    # but a tidy state keeps accidental reuse harmless).
+    for member in all_members:
+        net.population.set_online(member, True, now)
+    return total / max(measured, 1)
 
 
 def _rescale_members(
     costs: ChurnOpCosts,
     num_active_peers: int,
     config: Optional[PdhtConfig] = None,
+    params: Optional[ScenarioParameters] = None,
+    churn: Optional[ChurnConfig] = None,
+    seed: int = 0,
 ) -> ChurnOpCosts:
     """Adjust the member-dependent costs to a different DHT size.
 
-    Lookups and maintenance scale with the online member count. Floods
-    normally carry over unchanged (replica groups hold ``replication``
-    members regardless of the DHT size) — *except* when one of the two
-    DHTs is smaller than the replication factor, where the event engine
-    merges everyone into a single undersized group (partialIdeal's
+    Lookups and maintenance scale with the member count; floods normally
+    carry over unchanged (replica groups hold ``replication`` members
+    regardless of the DHT size) — *except* when one of the two DHTs is
+    smaller than the replication factor, where the event engine merges
+    everyone into a single undersized group (partialIdeal's
     threshold-sized DHT is the common case). There the flood-type costs
     are rescaled by the structural Monte-Carlo flood estimate at each
     effective group size, so a 10-member group is not charged a
     50-member group's flood.
+
+    Lookups and maintenance are rescaled the same *measured* way when
+    the substrate context (``params``/``churn``) is available — the
+    indexAll churn-fidelity fix:
+
+    * lookups scale by the ratio of churned-substrate lookup probes at
+      each DHT size (:func:`_churned_lookup_probe`). The analytic
+      ``c_search_index`` ratio misses that offline routing entries both
+      shorten routes (responsible hand-over) and detour them, with a
+      size-dependent net effect (~10% at availability 0.5 on the
+      Table-1/50 scenario);
+    * maintenance re-anchors to the *measured no-churn* rate at the
+      target size times the stationary availability. The calibrated rate
+      bakes in the probe membership's realized online-fraction
+      trajectory (sessions mix far slower than the probe window, so a
+      98-member sample can sit several percent off the stationary mean
+      for the whole probe) — a substrate-realisation property that is
+      *correct* at the probe's own size, where the comparison run shares
+      the trajectory, and wrong for any other membership. The kernel
+      multiplies by its own instantaneous online fraction, which
+      supplies the target membership's trajectory.
+
+    Without the substrate context the old analytic ratios apply
+    (structural estimators beyond the calibration limit never reach this
+    path — :meth:`ChurnOpCosts.structural` sizes itself directly).
     """
     if num_active_peers == costs.num_active_peers:
         return costs
-    old_online = max(2, int(round(costs.num_active_peers * costs.availability)))
-    new_online = max(2, int(round(num_active_peers * costs.availability)))
-    old_lookup = c_search_index(old_online)
-    lookup_scale = c_search_index(new_online) / old_lookup if old_lookup else 1.0
     import math
 
-    maintenance_scale = (new_online * math.log2(new_online)) / (
-        old_online * math.log2(old_online)
-    )
+    old_online = max(2, int(round(costs.num_active_peers * costs.availability)))
+    new_online = max(2, int(round(num_active_peers * costs.availability)))
+    lookup_scale: Optional[float] = None
+    maintenance: Optional[float] = None
+    if params is not None and churn is not None and config is not None:
+        old_probe = _churned_lookup_probe(
+            params, config, costs.availability, costs.num_active_peers, seed
+        )
+        new_probe = _churned_lookup_probe(
+            params, config, costs.availability, num_active_peers, seed
+        )
+        if old_probe > 0:
+            lookup_scale = new_probe / old_probe
+        target_base = costs_for(params, config, num_active_peers)
+        maintenance = costs.availability * target_base.maintenance_per_round
+    if lookup_scale is None:
+        old_lookup = c_search_index(old_online)
+        lookup_scale = (
+            c_search_index(new_online) / old_lookup if old_lookup else 1.0
+        )
+    if maintenance is None:
+        maintenance = costs.maintenance_per_round * (
+            (new_online * math.log2(new_online))
+            / (old_online * math.log2(old_online))
+        )
     flood_scale = 1.0
     if config is not None:
         old_group = min(config.replication, costs.num_active_peers)
@@ -511,10 +648,11 @@ def _rescale_members(
     return dc_replace(
         costs,
         lookup=costs.lookup * lookup_scale,
+        miss_lookup=costs.miss_lookup * lookup_scale,
         hit_flood=costs.hit_flood * flood_scale,
         miss_flood=costs.miss_flood * flood_scale,
         insert_flood=costs.insert_flood * flood_scale,
-        maintenance_per_round=costs.maintenance_per_round * maintenance_scale,
+        maintenance_per_round=maintenance,
         num_active_peers=num_active_peers,
     )
 
@@ -632,6 +770,36 @@ class EngineAgreement:
         )
 
 
+def _event_model_strategy(
+    params: ScenarioParameters,
+    config: PdhtConfig,
+    seed: int,
+    model,
+    churn: Optional[ChurnConfig] = None,
+) -> PartialSelectionStrategy:
+    """A selection strategy driving a workload-model stream (or the
+    default stationary stream when ``model`` is None)."""
+    strategy = PartialSelectionStrategy(
+        params, config=config, seed=seed, churn=churn
+    )
+    if model is not None:
+        strategy.workload = model.build_event(
+            ZipfDistribution(params.n_keys, params.alpha),
+            strategy.network.streams.get("queries-model"),
+        )
+    return strategy
+
+
+def _batch_model_workload(params: ScenarioParameters, seed: int, model):
+    """The kernel-side workload for ``model`` (None = kernel default)."""
+    if model is None:
+        return None
+    return model.build_batch(
+        ZipfDistribution(params.n_keys, params.alpha),
+        np.random.default_rng(np.random.SeedSequence([seed, 0x3037DE1])),
+    )
+
+
 def compare_engines(
     params: ScenarioParameters,
     config: Optional[PdhtConfig] = None,
@@ -639,12 +807,15 @@ def compare_engines(
     seeds: Sequence[int] = (0, 1, 2),
     costs: Optional[PerOpCosts] = None,
     calibration_seed: int = 0,
+    model=None,
 ) -> EngineAgreement:
     """Run the selection algorithm through both engines and compare.
 
     The event engine runs :class:`~repro.pdht.strategies.PartialSelectionStrategy`
     verbatim; the fast path runs :func:`~repro.fastsim.kernel.run_fastsim`
     with costs calibrated off the same substrate (unless given).
+    ``model`` swaps the stationary stream for a
+    :class:`~repro.workloads.models.WorkloadModel` on both engines.
     """
     if not seeds:
         raise ParameterError("need at least one seed")
@@ -656,8 +827,8 @@ def compare_engines(
     )
     for seed in seeds:
         started = time.perf_counter()
-        event_report = PartialSelectionStrategy(
-            params, config=config, seed=seed
+        event_report = _event_model_strategy(
+            params, config, seed, model
         ).run(duration)
         agreement.event_seconds += time.perf_counter() - started
         agreement.event_hit_rates.append(event_report.hit_rate)
@@ -669,6 +840,7 @@ def compare_engines(
             config=config,
             duration=duration,
             seed=seed,
+            workload=_batch_model_workload(params, seed, model),
             costs=costs,
         )
         # Kernel construction included, like the event path above.
@@ -688,6 +860,7 @@ def compare_engines_churn(
     costs: Optional[PerOpCosts] = None,
     churn_costs: Optional[ChurnOpCosts] = None,
     calibration_seed: int = 0,
+    model=None,
 ) -> EngineAgreement:
     """Run the selection algorithm under churn through both engines.
 
@@ -703,6 +876,11 @@ def compare_engines_churn(
     structural estimators from. The churn calibration itself still runs
     at each comparison seed (churn per-op costs are substrate-realisation
     properties; see :class:`~repro.fastsim.kernel.FastSimKernel`).
+
+    ``model`` runs a :class:`~repro.workloads.models.WorkloadModel` on
+    both engines *and* threads it into the churn calibration — the
+    rank-permutation-aware path the adaptivity-under-churn agreement
+    tests pin.
     """
     if not seeds:
         raise ParameterError("need at least one seed")
@@ -723,8 +901,8 @@ def compare_engines_churn(
     )
     for seed in seeds:
         started = time.perf_counter()
-        event_report = PartialSelectionStrategy(
-            params, config=config, seed=seed, churn=churn
+        event_report = _event_model_strategy(
+            params, config, seed, model, churn=churn
         ).run(duration)
         agreement.event_seconds += time.perf_counter() - started
         agreement.event_hit_rates.append(event_report.hit_rate)
@@ -735,7 +913,8 @@ def compare_engines_churn(
         # `speedup` should measure the simulation, not the (cached,
         # one-off) calibration.
         seed_churn_costs = churn_costs or churn_costs_for(
-            params, config, costs.num_active_peers, churn, costs, seed=seed
+            params, config, costs.num_active_peers, churn, costs, seed=seed,
+            model=model.calibration_model if model is not None else None,
         )
         started = time.perf_counter()
         fast_report = run_fastsim(
@@ -743,6 +922,7 @@ def compare_engines_churn(
             config=config,
             duration=duration,
             seed=seed,
+            workload=_batch_model_workload(params, seed, model),
             churn=churn,
             costs=costs,
             churn_costs=seed_churn_costs,

@@ -370,6 +370,11 @@ class FastSimKernel:
                 # engine would run at this seed.
                 from repro.fastsim.compare import churn_costs_for
 
+                # Rank-permutation awareness: a model-driven workload
+                # threads its model into the calibration, so the probe
+                # drives the same shifting rank->key mapping the kernel
+                # will run instead of the stationary identity mapping.
+                model = getattr(self.workload, "model", None)
                 churn_costs = churn_costs_for(
                     params,
                     self.config,
@@ -377,6 +382,8 @@ class FastSimKernel:
                     self.churn.config,
                     base=self.costs,
                     seed=seed,
+                    model=model.calibration_model if model is not None
+                    else None,
                 )
             self.churn_costs = churn_costs
 
@@ -426,7 +433,16 @@ class FastSimKernel:
         recorder = WindowRecorder(window)
         rounds = int(round(duration))
         rate = self.params.network_query_rate
-        counts = self._rng_counts.poisson(rate, size=rounds)
+        # The workload may pin the counts (trace replay) or modulate the
+        # rate (diurnal cycles); the stationary default keeps the exact
+        # historical poisson(rate, size=rounds) draw.
+        counts = self.workload.fixed_counts(self.now, rounds)
+        if counts is None:
+            multipliers = self.workload.rate_multipliers(self.now, rounds)
+            if multipliers is None:
+                counts = self._rng_counts.poisson(rate, size=rounds)
+            else:
+                counts = self._rng_counts.poisson(rate * multipliers)
         cumulative = np.cumsum(counts)
         start = self.now
         # Hoisted per-round temporaries: the window-close thunk and the

@@ -109,6 +109,10 @@ def resolve_jobs(jobs: Sequence[FastSimJob]) -> list[FastSimJob]:
             and job.churn is not None
             and job.churn.enabled
         ):
+            # Model-driven workloads thread their model into the churn
+            # calibration (rank-permutation awareness), exactly like the
+            # kernel's own resolution path.
+            model = getattr(job.workload, "model", None)
             churn_costs = churn_costs_for(
                 job.params,
                 config,
@@ -116,6 +120,7 @@ def resolve_jobs(jobs: Sequence[FastSimJob]) -> list[FastSimJob]:
                 job.churn,
                 base=costs,
                 seed=job.seed,
+                model=model.calibration_model if model is not None else None,
             )
         resolved.append(
             replace(

@@ -5,11 +5,19 @@ yielding one :class:`~repro.workload.queries.QueryEvent` per query, a batch
 workload returns whole numpy arrays of (rank, key index) pairs per round.
 The non-stationary variants reproduce the same shift semantics so the
 adaptivity experiments run unchanged on either engine.
+
+The general non-stationary case lives in :mod:`repro.workloads`: a
+:class:`~repro.workloads.models.WorkloadModel` builds a batch stream via
+``model.build_batch(zipf, rng)``, whose ``next_boundary`` schedule keeps
+whole shift-free segments on the one-``sample_ranks`` fast path, plus
+optional per-round rate modulation (:meth:`BatchWorkload.rate_multipliers`)
+and exact trace-replay counts (:meth:`BatchWorkload.fixed_counts`).
 """
 
 from __future__ import annotations
 
 import abc
+import math
 
 import numpy as np
 
@@ -47,18 +55,45 @@ class BatchWorkload(abc.ABC):
     def maybe_shift(self, now: float) -> bool:
         """Apply any scheduled distribution change; True if one happened."""
 
-    def shift_pending(self, now: float) -> bool:
-        """Whether :meth:`maybe_shift` *could* change anything at ``now``.
+    def next_boundary(self, now: float) -> float:
+        """Earliest round time at which :meth:`maybe_shift` could change
+        anything; ``math.inf`` if it never will again.
 
         A pure peek — consumes no randomness — so :meth:`draw_rounds` can
-        batch whole segments of rounds between shift boundaries while
-        keeping the RNG stream order of per-round draws. The base default
-        is conservatively ``True``: a subclass that only overrides
-        :meth:`maybe_shift` still has it invoked every round (one-round
-        segments, identical semantics to the per-round path); overriding
-        this with an exact peek is the batching opt-in.
+        batch whole shift-free segments in one ``sample_ranks`` call and
+        *jump* directly to the next boundary instead of testing every
+        round. A returned time at or before ``now`` means a shift is due
+        now. The base default is conservatively ``now``: a subclass that
+        only overrides :meth:`maybe_shift` still has it invoked every
+        round (one-round segments, identical semantics to the per-round
+        path); overriding this with an exact schedule is the batching
+        opt-in.
         """
-        return True
+        return now
+
+    def shift_pending(self, now: float) -> bool:
+        """Whether :meth:`maybe_shift` *could* change anything at ``now``
+        (the boolean view of :meth:`next_boundary`; also a pure peek)."""
+        return self.next_boundary(now) <= now
+
+    def rate_multipliers(self, start: float, rounds: int) -> np.ndarray | None:
+        """Per-round query-rate factors for rounds ``start+1 .. start+rounds``.
+
+        ``None`` (the default) marks the stationary-rate case, letting
+        the kernel keep its exact historical ``poisson(rate, size=n)``
+        draw; a time-varying workload (e.g. a diurnal cycle) returns an
+        array of factors applied to the scenario rate per round.
+        """
+        return None
+
+    def fixed_counts(self, start: float, rounds: int) -> np.ndarray | None:
+        """Exact per-round query counts, overriding the Poisson draw.
+
+        ``None`` (the default) keeps the sampled counts; a trace-replay
+        workload returns the recorded stream's own counts so the kernel
+        replays it verbatim.
+        """
+        return None
 
     def draw_round(
         self, now: float, count: int
@@ -94,30 +129,47 @@ class BatchWorkload(abc.ABC):
         offsets = np.concatenate(([0], np.cumsum(counts)))
         ranks = np.empty(int(offsets[-1]), dtype=np.int64)
         keys = np.empty_like(ranks)
-        segment_start = 0
-        for i in range(counts.size + 1):
-            at_end = i == counts.size
-            now = start + i + 1.0
-            if not at_end and not self.shift_pending(now):
-                continue
-            # Flush the pending segment under the current mapping, then
-            # apply the shift (which may consume RNG) before round i.
-            lo, hi = int(offsets[segment_start]), int(offsets[i])
+
+        def flush(lo_round: int, hi_round: int) -> None:
+            # Draw the segment [lo_round, hi_round) under the current
+            # mapping, in one sample_ranks call.
+            lo, hi = int(offsets[lo_round]), int(offsets[hi_round])
             if hi > lo:
                 drawn = self.zipf.sample_ranks(self.rng, hi - lo)
                 ranks[lo:hi] = drawn
                 keys[lo:hi] = self.rank_to_key[drawn - 1]
-            segment_start = i
-            if not at_end:
+
+        n = counts.size
+        segment_start = 0
+        i = 0
+        while i < n:
+            now = start + i + 1.0
+            boundary = self.next_boundary(now)
+            if boundary <= now:
+                # Round i sits on a boundary: flush the pending segment
+                # under the old mapping, then apply the shift (which may
+                # consume RNG) before round i draws.
+                flush(segment_start, i)
                 self.maybe_shift(now)
+                segment_start = i
+                i += 1
+            elif boundary == math.inf:
+                i = n
+            else:
+                # Jump to the first round whose time reaches the
+                # boundary. The loop re-checks the peek there, so a
+                # conservative (early) landing only costs one more
+                # iteration — never a missed shift.
+                i = max(i + 1, int(math.ceil(boundary - start - 1.0)))
+        flush(segment_start, n)
         return ranks, keys, offsets
 
 
 class BatchZipfWorkload(BatchWorkload):
     """The stationary Zipf stream of the paper's evaluation."""
 
-    def shift_pending(self, now: float) -> bool:
-        return False
+    def next_boundary(self, now: float) -> float:
+        return math.inf
 
     def maybe_shift(self, now: float) -> bool:
         return False
@@ -138,8 +190,8 @@ class BatchShuffledZipfWorkload(BatchWorkload):
         self.shift_time = shift_time
         self.shifted = False
 
-    def shift_pending(self, now: float) -> bool:
-        return not self.shifted and now >= self.shift_time
+    def next_boundary(self, now: float) -> float:
+        return self.shift_time if not self.shifted else math.inf
 
     def maybe_shift(self, now: float) -> bool:
         if self.shift_pending(now):
@@ -171,8 +223,8 @@ class BatchFlashCrowdWorkload(BatchWorkload):
         self.cold_rank = cold_rank
         self.crowded = False
 
-    def shift_pending(self, now: float) -> bool:
-        return not self.crowded and now >= self.crowd_time
+    def next_boundary(self, now: float) -> float:
+        return self.crowd_time if not self.crowded else math.inf
 
     def maybe_shift(self, now: float) -> bool:
         if self.shift_pending(now):

@@ -193,11 +193,18 @@ class SimulatedStrategy(abc.ABC):
             window_queries = window_hits = 0
 
         rounds = int(round(duration))
+        # Model-driven workloads can modulate the query rate over time
+        # (e.g. a diurnal cycle); plain workloads draw at the flat rate.
+        rate_scale = getattr(self.workload, "rate_multiplier", None)
         for _ in range(rounds):
             self.network.advance(1.0)
             now = sim.now
             # Queries this round: Poisson around the network-wide rate.
-            count = int(self._rng.poisson(rate))
+            count = int(
+                self._rng.poisson(
+                    rate * (rate_scale(now) if rate_scale is not None else 1.0)
+                )
+            )
             for event in self.workload.draw(now, count):
                 origin = self.network.random_online_peer()
                 key = self.key_name(event.key_index)

@@ -2,14 +2,18 @@
 
 Experiments become comparable across strategies only when every strategy
 sees the *same* query sequence. :class:`QueryTrace` captures a workload's
-emitted events, serialises to/from JSON, and replays deterministically —
-the standard trace-driven-simulation workflow.
+emitted events, serialises to/from JSON (one document) or JSONL (one
+header line plus one event per line — appendable, streamable, and the
+format :class:`repro.workloads.TraceReplay` documents), and replays
+deterministically — the standard trace-driven-simulation workflow.
 """
 
 from __future__ import annotations
 
 import json
+from bisect import bisect_left
 from dataclasses import dataclass, field
+from operator import attrgetter
 from pathlib import Path
 from typing import Iterator
 
@@ -32,6 +36,15 @@ class QueryTrace:
     def __post_init__(self) -> None:
         if self.n_keys < 0:
             raise ParameterError(f"n_keys must be >= 0, got {self.n_keys}")
+        # `events_between` binary-searches the timestamps, so the
+        # ordering invariant `append` enforces must also hold for an
+        # events list passed straight to the constructor.
+        for previous, current in zip(self.events, self.events[1:]):
+            if current.time < previous.time:
+                raise ParameterError(
+                    f"trace must be time-ordered ({current.time} < "
+                    f"{previous.time})"
+                )
 
     def __len__(self) -> int:
         return len(self.events)
@@ -55,10 +68,18 @@ class QueryTrace:
     # Replay
     # ------------------------------------------------------------------
     def events_between(self, start: float, end: float) -> list[QueryEvent]:
-        """Events with ``start <= time < end`` (replay one round at a time)."""
+        """Events with ``start <= time < end`` (replay one round at a time).
+
+        Binary search over the (append-ordered, hence sorted) timestamps:
+        a round-stepped replay calls this once per round, and a linear
+        scan would make replaying a long trace quadratic in its length.
+        """
         if end < start:
             raise ParameterError(f"need start <= end, got [{start}, {end})")
-        return [e for e in self.events if start <= e.time < end]
+        time_of = attrgetter("time")
+        lo = bisect_left(self.events, start, key=time_of)
+        hi = bisect_left(self.events, end, lo=lo, key=time_of)
+        return self.events[lo:hi]
 
     def duration(self) -> float:
         if not self.events:
@@ -112,12 +133,71 @@ class QueryTrace:
             )
         return trace
 
+    def to_jsonl(self) -> str:
+        """JSONL form: a header object line, then one ``[time, rank,
+        key_index]`` line per event (appendable and streamable)."""
+        lines = [
+            json.dumps(
+                {
+                    "version": _FORMAT_VERSION,
+                    "n_keys": self.n_keys,
+                    "description": self.description,
+                }
+            )
+        ]
+        lines.extend(
+            json.dumps([event.time, event.rank, event.key_index])
+            for event in self.events
+        )
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "QueryTrace":
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise ParameterError("not a valid trace: empty JSONL document")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise ParameterError(f"not a valid trace: {exc}") from exc
+        if not isinstance(header, dict):
+            raise ParameterError(
+                "not a valid trace: JSONL must start with a header object"
+            )
+        if header.get("version") != _FORMAT_VERSION:
+            raise ParameterError(
+                f"unsupported trace version {header.get('version')!r}"
+            )
+        trace = cls(
+            n_keys=int(header.get("n_keys", 0)),
+            description=str(header.get("description", "")),
+        )
+        for line in lines[1:]:
+            try:
+                time, rank, key_index = json.loads(line)
+            except (json.JSONDecodeError, ValueError) as exc:
+                raise ParameterError(f"not a valid trace: {exc}") from exc
+            trace.append(
+                QueryEvent(
+                    time=float(time), rank=int(rank), key_index=int(key_index)
+                )
+            )
+        return trace
+
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(self.to_json(), encoding="utf-8")
+        """Write the trace; a ``.jsonl`` suffix selects the JSONL form."""
+        path = Path(path)
+        text = self.to_jsonl() if path.suffix == ".jsonl" else self.to_json()
+        path.write_text(text, encoding="utf-8")
 
     @classmethod
     def load(cls, path: str | Path) -> "QueryTrace":
-        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+        """Read a trace saved by :meth:`save` (JSON or JSONL)."""
+        path = Path(path)
+        text = path.read_text(encoding="utf-8")
+        if path.suffix == ".jsonl":
+            return cls.from_jsonl(text)
+        return cls.from_json(text)
 
 
 def record_trace(

@@ -1,0 +1,176 @@
+"""Engine adapters: one :class:`~repro.workloads.models.WorkloadModel`,
+both engines.
+
+The adapters own the mutable part of a workload run (the current
+rank -> key mapping, the next unapplied boundary) while the model stays a
+frozen schedule. Both adapters advance boundaries through the same
+while-loop over :meth:`WorkloadModel.apply`, so given the same generator
+state the realized mapping is identical on either engine — the parity the
+cross-engine agreement tests rely on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.fastsim.workload import BatchWorkload
+from repro.workload.queries import QueryEvent, QueryWorkload
+from repro.workloads.models import TraceReplay, WorkloadModel
+
+__all__ = [
+    "ModelQueryWorkload",
+    "ModelBatchWorkload",
+    "TraceQueryWorkload",
+    "BatchTraceWorkload",
+]
+
+
+class _BoundaryCursor:
+    """Tracks a model's next unapplied boundary for one adapter."""
+
+    def __init__(self, model: WorkloadModel) -> None:
+        self.model = model
+        self.next = model.next_boundary(-math.inf)
+
+    def advance(
+        self, now: float, mapping: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, bool]:
+        """Apply every boundary due by ``now``; returns ``(mapping, changed)``."""
+        changed = False
+        while now >= self.next:
+            at = self.next
+            mapping = self.model.apply(at, mapping, rng)
+            self.next = self.model.next_boundary(at)
+            changed = True
+        return mapping, changed
+
+
+class ModelQueryWorkload(QueryWorkload):
+    """Event-engine stream driven by a :class:`WorkloadModel`."""
+
+    def __init__(self, model: WorkloadModel, zipf, rng) -> None:
+        super().__init__(zipf, rng)
+        self.model = model
+        self._cursor = _BoundaryCursor(model)
+
+    def maybe_shift(self, now: float) -> bool:
+        self._rank_to_key, changed = self._cursor.advance(
+            now, self._rank_to_key, self.rng
+        )
+        return changed
+
+    def rate_multiplier(self, now: float) -> float:
+        """Query-rate factor the strategy driver applies this round."""
+        return self.model.rate_multiplier(now)
+
+
+class ModelBatchWorkload(BatchWorkload):
+    """Vectorized stream driven by a :class:`WorkloadModel`.
+
+    Keeps the segment-batched ``draw_rounds`` fast path: between
+    boundaries the mapping is frozen, so whole segments draw in one
+    ``sample_ranks`` call exactly like the stationary stream.
+    """
+
+    def __init__(self, model: WorkloadModel, zipf, rng) -> None:
+        super().__init__(zipf, rng)
+        self.model = model
+        self._cursor = _BoundaryCursor(model)
+
+    def next_boundary(self, now: float) -> float:
+        return self._cursor.next
+
+    def maybe_shift(self, now: float) -> bool:
+        self.rank_to_key, changed = self._cursor.advance(
+            now, self.rank_to_key, self.rng
+        )
+        return changed
+
+    def rate_multipliers(self, start: float, rounds: int) -> np.ndarray | None:
+        times = start + 1.0 + np.arange(rounds, dtype=float)
+        return self.model.rate_multipliers(times)
+
+
+class TraceQueryWorkload(QueryWorkload):
+    """Event-engine replay of a recorded trace.
+
+    ``draw(now, count)`` ignores ``count`` and returns the trace's events
+    for the round ending at ``now`` (times in ``[now - 1, now)``) — every
+    strategy replays the identical query sequence.
+    """
+
+    def __init__(self, model: TraceReplay, zipf, rng) -> None:
+        super().__init__(zipf, rng)
+        if zipf.n_keys != model.trace.n_keys:
+            raise ParameterError(
+                f"trace covers {model.trace.n_keys} keys, "
+                f"scenario has {zipf.n_keys}"
+            )
+        self.model = model
+        self.trace = model.trace
+
+    def maybe_shift(self, now: float) -> bool:
+        return False
+
+    def draw(self, now: float, count: int) -> list[QueryEvent]:
+        return self.trace.events_between(now - 1.0, now)
+
+
+class BatchTraceWorkload(BatchWorkload):
+    """Vectorized replay of a recorded trace.
+
+    The per-round query counts come from the trace, not a Poisson draw
+    (:meth:`fixed_counts`), and :meth:`draw_rounds` slices the trace's
+    precomputed arrays instead of sampling — round ``i`` of a run
+    starting at ``start`` replays the events with times in
+    ``[start + i, start + i + 1)``, matching :class:`TraceQueryWorkload`
+    bucket for bucket.
+    """
+
+    def __init__(self, model: TraceReplay, zipf, rng) -> None:
+        super().__init__(zipf, rng)
+        if zipf.n_keys != model.trace.n_keys:
+            raise ParameterError(
+                f"trace covers {model.trace.n_keys} keys, "
+                f"scenario has {zipf.n_keys}"
+            )
+        self.model = model
+        self.trace = model.trace
+        self._times = np.array([e.time for e in model.trace], dtype=float)
+        self._ranks = np.array([e.rank for e in model.trace], dtype=np.int64)
+        self._keys = np.array(
+            [e.key_index for e in model.trace], dtype=np.int64
+        )
+
+    def next_boundary(self, now: float) -> float:
+        return math.inf
+
+    def maybe_shift(self, now: float) -> bool:
+        return False
+
+    def fixed_counts(self, start: float, rounds: int) -> np.ndarray:
+        edges = start + np.arange(rounds + 1, dtype=float)
+        return np.diff(np.searchsorted(self._times, edges, side="left"))
+
+    def draw_round(self, now: float, count: int):
+        lo, hi = np.searchsorted(
+            self._times, [now - 1.0, now], side="left"
+        )
+        return self._ranks[lo:hi].copy(), self._keys[lo:hi].copy()
+
+    def draw_rounds(self, start: float, counts: np.ndarray):
+        counts = np.asarray(counts, dtype=np.int64)
+        expected = self.fixed_counts(start, counts.size)
+        if not np.array_equal(counts, expected):
+            raise ParameterError(
+                "trace replay needs the trace's own per-round counts "
+                "(use fixed_counts); the passed counts disagree with the "
+                "recorded stream"
+            )
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        lo = int(np.searchsorted(self._times, start, side="left"))
+        hi = lo + int(offsets[-1])
+        return self._ranks[lo:hi].copy(), self._keys[lo:hi].copy(), offsets

@@ -113,6 +113,61 @@ class TestSweepGridWithChurn:
         assert len(derived.x_values) == 2  # availability splits the slice
 
 
+class TestWorkloadAxis:
+    """GridAxes.workloads (ISSUE 5): non-stationary cells in the grid."""
+
+    def test_workload_axis_multiplies_the_grid(self):
+        axes = GridAxes(workloads=("stationary", "rank-swap"))
+        assert axes.size == 36
+        labels = [p.label() for p in axes.points()]
+        assert sum("w=rank-swap" in label for label in labels) == 18
+        # Stationary cells keep their historical labels.
+        assert not any("w=stationary" in label for label in labels)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ParameterError, match="workload"):
+            GridAxes(workloads=("nope",))
+        with pytest.raises(ParameterError, match="non-empty"):
+            GridAxes(workloads=())
+
+    def test_slice_label_keeps_the_workload(self):
+        point = GridPoint(2.0, 1.2, 1 / 600, workload="gradual-drift")
+        assert point.slice_label() == "a=1.2|1/600|w=gradual-drift"
+
+    def test_non_stationary_cells_run_the_model(self):
+        axes = GridAxes(
+            ttl_factors=(1.0,),
+            alphas=(1.2,),
+            query_freqs=(1 / 30,),
+            workloads=("stationary", "rank-swap"),
+        )
+        fig = sweep_grid(
+            axes,
+            scenario=simulation_scenario(scale=0.02),
+            duration=60.0,
+        )
+        assert len(fig.x_values) == 2
+        assert "w=rank-swap" in fig.x_values[1]
+        stationary, swapped = fig.series_of("hit rate")
+        assert 0 < stationary <= 1 and 0 < swapped <= 1
+        # The mid-run swap costs hits relative to the stationary cell.
+        assert swapped < stationary
+        derived = optimal_cells(fig, axes)
+        assert len(derived.x_values) == 2  # workload splits the slice
+
+    def test_workload_cells_deterministic_across_jobs(self):
+        axes = GridAxes(
+            ttl_factors=(1.0,),
+            alphas=(1.2,),
+            query_freqs=(1 / 30,),
+            workloads=("gradual-drift",),
+        )
+        scenario = simulation_scenario(scale=0.02)
+        sequential = sweep_grid(axes, scenario=scenario, duration=40.0, jobs=1)
+        parallel = sweep_grid(axes, scenario=scenario, duration=40.0, jobs=2)
+        assert parallel.series == sequential.series
+
+
 class TestParallelSweep:
     """sweep_grid(jobs=N): same grid, fanned over a process pool."""
 

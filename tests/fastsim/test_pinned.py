@@ -102,6 +102,27 @@ def test_shuffled_workload_bit_identical(params, config):
     _assert_matches(report, PINNED["shuffled"])
 
 
+def test_rank_swap_model_bit_identical_to_shuffled_pin(params, config):
+    """ISSUE 5 acceptance: the `RankSwap` workload model reproduces the
+    pre-change shift path bit for bit — same pinned report as the
+    historical `BatchShuffledZipfWorkload` capture."""
+    from repro.workloads import RankSwap
+
+    zipf = ZipfDistribution(params.n_keys, params.alpha)
+    workload = RankSwap(shift_time=60.0).build_batch(
+        zipf, np.random.default_rng(np.random.SeedSequence(99))
+    )
+    report = run_fastsim(
+        params,
+        config=config,
+        duration=DURATION,
+        seed=SEED,
+        workload=workload,
+        window=WINDOW,
+    )
+    _assert_matches(report, PINNED["shuffled"])
+
+
 def test_flash_crowd_workload_bit_identical(params, config):
     zipf = ZipfDistribution(params.n_keys, params.alpha)
     workload = BatchFlashCrowdWorkload(

@@ -190,6 +190,92 @@ class TestDrawRounds:
         assert workload.shift_pending(5.0) is False
 
 
+class TestBoundaryEdgeCases:
+    """`next_boundary` edge cases (ISSUE 5 coverage satellite): a shift
+    exactly on a draw-block boundary, two boundaries inside one block,
+    and a boundary at t=0 — all must stay bit-identical to the
+    per-round path."""
+
+    def _per_round(self, workload, start, counts):
+        ranks_parts, keys_parts = [], []
+        for i, count in enumerate(counts):
+            ranks, keys = workload.draw_round(start + i + 1.0, int(count))
+            ranks_parts.append(ranks)
+            keys_parts.append(keys)
+        return np.concatenate(ranks_parts), np.concatenate(keys_parts)
+
+    def test_shift_exactly_on_a_block_boundary(self, zipf):
+        # The kernel splits draw_rounds calls at DRAW_BLOCK edges; a
+        # shift landing exactly where one block ends and the next starts
+        # must behave like one uninterrupted call.
+        counts = np.array([5, 5, 5, 5, 5, 5])
+        whole = BatchShuffledZipfWorkload(zipf, _fresh_rng(), shift_time=4.0)
+        ranks_whole, keys_whole, _ = whole.draw_rounds(0.0, counts)
+        split = BatchShuffledZipfWorkload(zipf, _fresh_rng(), shift_time=4.0)
+        # First block covers rounds at t=1..3, second starts at t=4 — the
+        # shift instant is exactly the second block's first round.
+        r1, k1, _ = split.draw_rounds(0.0, counts[:3])
+        r2, k2, _ = split.draw_rounds(3.0, counts[3:])
+        assert np.array_equal(ranks_whole, np.concatenate([r1, r2]))
+        assert np.array_equal(keys_whole, np.concatenate([k1, k2]))
+        assert split.shifted
+
+    def test_two_boundaries_inside_one_block(self, zipf):
+        from repro.workloads import FlashCrowd
+
+        counts = np.array([6, 4, 8, 3, 7, 5, 2, 9, 1, 4])
+        model = FlashCrowd(at=3.0, hot_for=3.0)  # boundaries at 3 and 6
+        batched = model.build_batch(zipf, _fresh_rng())
+        ranks, keys, offsets = batched.draw_rounds(0.0, counts)
+        looped = model.build_batch(zipf, _fresh_rng())
+        loop_ranks, loop_keys = self._per_round(looped, 0.0, counts)
+        assert np.array_equal(ranks, loop_ranks)
+        assert np.array_equal(keys, loop_keys)
+        # Both boundaries applied: the crowd came and went.
+        assert np.array_equal(batched.rank_to_key, np.arange(zipf.n_keys))
+
+    def test_boundary_at_time_zero(self, zipf):
+        workload = BatchShuffledZipfWorkload(zipf, _fresh_rng(), shift_time=0.0)
+        ranks, keys, _ = workload.draw_rounds(0.0, np.array([40, 40]))
+        assert workload.shifted
+        # Every round drew under the permuted mapping.
+        assert np.array_equal(keys, workload.rank_to_key[ranks - 1])
+        assert not np.array_equal(keys, ranks - 1)
+
+    def test_kernel_block_splits_are_bit_identical(self, monkeypatch):
+        """End-to-end: a tiny DRAW_BLOCK forces many kernel block splits
+        across a two-boundary workload; the seeded report must not move
+        a bit relative to the default block size."""
+        from repro.experiments.scenario import simulation_scenario
+        from repro.fastsim import run_fastsim
+        from repro.fastsim import kernel as kernel_module
+        from repro.pdht.config import PdhtConfig
+        from repro.workloads import FlashCrowd
+
+        params = simulation_scenario(scale=0.02)
+        config = PdhtConfig.from_scenario(params)
+        zipf_full = ZipfDistribution(params.n_keys, params.alpha)
+        model = FlashCrowd(at=20.0, hot_for=20.0)
+
+        def run():
+            return run_fastsim(
+                params,
+                config=config,
+                duration=60.0,
+                seed=7,
+                workload=model.build_batch(zipf_full, _fresh_rng(5)),
+                window=15.0,
+            )
+
+        baseline = run()
+        monkeypatch.setattr(kernel_module, "DRAW_BLOCK", 64)
+        tiny_blocks = run()
+        assert tiny_blocks.queries == baseline.queries
+        assert tiny_blocks.index_hits == baseline.index_hits
+        assert tiny_blocks.total_messages == baseline.total_messages
+        assert tiny_blocks.hit_rate_series == baseline.hit_rate_series
+
+
 class TestEventEngineParity:
     """Batch and event workloads share shift semantics and RNG streams:
     given the same generator state they must produce the same post-shift

@@ -126,14 +126,15 @@ def test_churn_agreement_within_five_percent(availability):
 
 #: Per-strategy total-cost bounds for the non-selection churn paths.
 #: noIndex and partialIdeal tightened from PR 3's uniform 0.12 (they sit
-#: at ~0.01 / ~0.06 off). indexAll carries 0.15: its gap is the analytic
-#: lookup/maintenance member-rescaling approximation, which PR 3's
-#: no-churn update-flood overcharge happened to mask — the update path
-#: now charges the honest churn-aware costs and is pinned tightly by
-#: test_update_traffic_tracks_event_engine_under_churn instead.
+#: at ~0.01 / ~0.06 off). indexAll tightened from 0.15 to 0.10 (ISSUE 5
+#: satellite): the member rescale now uses *measured* lookups (churned
+#: substrate probes at both DHT sizes) and re-anchors maintenance to the
+#: measured no-churn rate at the target size, instead of the analytic
+#: c_search_index / n·log2(n) ratios that ran ~12% under the event
+#: engine at availability 0.5 — it now sits at ~0.01.
 CHURN_STRATEGY_COST_REL = {
     "noIndex": 0.05,
-    "indexAll": 0.15,
+    "indexAll": 0.10,
     "partialIdeal": 0.10,
 }
 
@@ -291,6 +292,93 @@ def test_churn_underestimate_regression():
     assert event_walks / flat_charge > 7.0
     assert 0.6 <= fast_walks / event_walks <= 1.6
     assert 0.7 <= fast.total_messages / event.total_messages <= 1.4
+
+
+# ----------------------------------------------------------------------
+# Workload models (ISSUE 5): every repro.workloads model must agree
+# across engines within the same 5% bar as the stationary stream — and
+# GradualDrift must hold it *under churn* through the rank-permutation-
+# aware calibration (the probe drives the model's own shifting mapping).
+# ----------------------------------------------------------------------
+MODEL_DURATION = 150.0
+
+
+def _model_for(name: str):
+    from repro.workloads import model_from_name
+
+    return model_from_name(name, MODEL_DURATION)
+
+
+@pytest.mark.parametrize(
+    "model_name", ("rank-swap", "gradual-drift", "flash-crowd", "diurnal")
+)
+def test_workload_model_agreement_within_five_percent(model_name):
+    from repro.fastsim import compare_engines
+
+    params = simulation_scenario(scale=SCALE)
+    agreement = compare_engines(
+        params,
+        duration=MODEL_DURATION,
+        seeds=SEEDS,
+        model=_model_for(model_name),
+    )
+    assert agreement.hit_rate_rel_diff <= 0.05, agreement.summary()
+    assert agreement.cost_rel_diff <= 0.05, agreement.summary()
+
+
+def test_trace_replay_agreement_within_five_percent():
+    from repro.fastsim import compare_engines
+    from repro.sim.rng import RandomStreams
+    from repro.workload.queries import ZipfQueryWorkload
+    from repro.workload.trace import record_trace
+    from repro.workloads import TraceReplay
+
+    params = simulation_scenario(scale=SCALE)
+    from repro.analysis.zipf import ZipfDistribution
+
+    zipf = ZipfDistribution(params.n_keys, params.alpha)
+    trace = record_trace(
+        ZipfQueryWorkload(zipf, RandomStreams(77).get("trace")),
+        duration=MODEL_DURATION,
+        queries_per_round=13,
+    )
+    agreement = compare_engines(
+        params,
+        duration=MODEL_DURATION,
+        seeds=SEEDS,
+        model=TraceReplay(trace),
+    )
+    # Both engines replay the identical recorded stream, so the hit-rate
+    # agreement is near-exact, not merely statistical.
+    assert agreement.hit_rate_rel_diff <= 0.01, agreement.summary()
+    assert agreement.cost_rel_diff <= 0.05, agreement.summary()
+
+
+def test_gradual_drift_under_churn_agreement_within_five_percent():
+    """The ROADMAP's rank-permutation calibration item: under churn with
+    a drifting workload, the kernel's per-op costs are calibrated
+    against the model's realized rank -> key mapping per segment (the
+    probe drives the same model), and cross-engine agreement holds the
+    stationary 5% bar at availability 0.5."""
+    from dataclasses import replace
+
+    from repro.fastsim import compare_engines_churn
+    from repro.workloads import model_from_name
+
+    params = simulation_scenario(scale=SCALE)
+    config = replace(
+        PdhtConfig.from_scenario(params), walk_ttl=CHURN_WALK_TTL
+    )
+    agreement = compare_engines_churn(
+        params,
+        0.5,
+        config=config,
+        duration=CHURN_DURATION,
+        seeds=SEEDS,
+        model=model_from_name("gradual-drift", CHURN_DURATION),
+    )
+    assert agreement.hit_rate_rel_diff <= 0.05, agreement.summary()
+    assert agreement.cost_rel_diff <= 0.05, agreement.summary()
 
 
 # ----------------------------------------------------------------------

@@ -28,6 +28,18 @@ class TestTrace:
         with pytest.raises(ParameterError):
             trace.append(QueryEvent(time=1.0, rank=1, key_index=0))
 
+    def test_unsorted_constructor_events_rejected(self):
+        # events_between binary-searches the timestamps, so the
+        # constructor must enforce the same ordering append() does.
+        with pytest.raises(ParameterError, match="time-ordered"):
+            QueryTrace(
+                events=[
+                    QueryEvent(time=5.0, rank=1, key_index=0),
+                    QueryEvent(time=1.0, rank=1, key_index=0),
+                ],
+                n_keys=10,
+            )
+
     def test_key_outside_universe_rejected(self):
         trace = QueryTrace(n_keys=5)
         with pytest.raises(ParameterError):
@@ -87,6 +99,38 @@ class TestSerialisation:
     def test_wrong_version_rejected(self):
         with pytest.raises(ParameterError):
             QueryTrace.from_json('{"version": 99, "events": []}')
+
+    def test_jsonl_roundtrip(self, workload):
+        trace = record_trace(workload, duration=5.0, queries_per_round=4,
+                             description="jsonl trace")
+        restored = QueryTrace.from_jsonl(trace.to_jsonl())
+        assert restored.description == "jsonl trace"
+        assert restored.n_keys == trace.n_keys
+        assert [
+            (e.time, e.rank, e.key_index) for e in restored
+        ] == [(e.time, e.rank, e.key_index) for e in trace]
+
+    def test_jsonl_suffix_selects_format(self, workload, tmp_path):
+        trace = record_trace(workload, duration=3.0, queries_per_round=2)
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        text = path.read_text()
+        # One header line plus one line per event.
+        assert len(text.splitlines()) == len(trace) + 1
+        restored = QueryTrace.load(path)
+        assert len(restored) == len(trace)
+
+    def test_invalid_jsonl_rejected(self):
+        with pytest.raises(ParameterError):
+            QueryTrace.from_jsonl("")
+        with pytest.raises(ParameterError):
+            QueryTrace.from_jsonl("[1, 2, 3]")  # header must be an object
+        with pytest.raises(ParameterError):
+            QueryTrace.from_jsonl('{"version": 99}')
+        with pytest.raises(ParameterError):
+            QueryTrace.from_jsonl(
+                '{"version": 1, "n_keys": 5}\nnot an event'
+            )
 
 
 class TestRecord:
