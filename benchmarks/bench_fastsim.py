@@ -22,7 +22,18 @@ under pytest) when any drifts:
   regress into a per-round loop);
 * jobs: the default sweep grid at 100k peers reaches >= 2.5x wall-clock
   speedup at ``jobs=4`` vs ``jobs=1`` with identical cell values
-  (enforced only on runners with >= 4 CPUs; always recorded).
+  (enforced only on runners with >= 4 CPUs; always recorded);
+* telemetry: the 100k-peer kernel run with :mod:`repro.obs` collection
+  enabled stays within 2% of the disabled wall-clock, and the seeded
+  reports are bit-identical either way.
+
+The comparison/gate scenarios additionally record the process peak RSS
+(``peak_rss_bytes``) — a process-lifetime high-water mark, so each
+record reads "peak so far", giving the 10^7-peer memory work a baseline
+— and the whole run's calibration time and cache statistics land in the
+``telemetry_record``. ``benchmarks/record.py`` compacts the payload into
+one ``BENCH_history.jsonl`` line; ``benchmarks/dashboard.py`` renders
+the committed history as a static trend dashboard.
 
 Standalone::
 
@@ -37,9 +48,11 @@ import time
 from dataclasses import replace
 from pathlib import Path
 
+from repro import obs
 from repro.experiments.scenario import paper_scenario
 from repro.fastsim import (
     calibrate_costs,
+    calibration_cache_stats,
     compare_engines,
     compare_engines_churn,
     compare_engines_staleness,
@@ -80,6 +93,7 @@ def _compare_at(num_peers: int, walk_probes: int) -> dict[str, object]:
         "hit_rate_rel_diff": agreement.hit_rate_rel_diff,
         "cost_rel_diff": agreement.cost_rel_diff,
         "summary": agreement.summary(),
+        "peak_rss_bytes": obs.peak_rss_bytes(),
     }
 
 
@@ -96,6 +110,7 @@ def _vectorized_only_at(num_peers: int) -> dict[str, object]:
         "vectorized_seconds": elapsed,
         "vectorized_hit_rate": report.hit_rate,
         "simulated_queries_per_second": report.simulated_queries_per_second,
+        "peak_rss_bytes": obs.peak_rss_bytes(),
     }
 
 
@@ -119,6 +134,7 @@ def _churn_record(availability: float) -> dict[str, object]:
         "hit_rate_rel_diff": agreement.hit_rate_rel_diff,
         "cost_rel_diff": agreement.cost_rel_diff,
         "summary": agreement.summary(),
+        "peak_rss_bytes": obs.peak_rss_bytes(),
     }
 
 
@@ -180,6 +196,7 @@ def _workloads_record() -> dict[str, object]:
         ),
         "stationary_hit_rate": stationary_hit,
         "drift_hit_rate": drift_hit,
+        "peak_rss_bytes": obs.peak_rss_bytes(),
     }
 
 
@@ -230,6 +247,7 @@ def _jobs_record() -> dict[str, object]:
             else float("inf")
         ),
         "cells_identical": sequential.series == parallel.series,
+        "peak_rss_bytes": obs.peak_rss_bytes(),
     }
 
 
@@ -245,6 +263,76 @@ def _staleness_record() -> dict[str, object]:
         "hit_rate_rel_diff": agreement.hit_rate_rel_diff,
         "staleness_rel_diff": agreement.staleness_rel_diff,
         "summary": agreement.summary(),
+        "peak_rss_bytes": obs.peak_rss_bytes(),
+    }
+
+
+#: Telemetry-enabled wall-clock may exceed the disabled run by at most
+#: this factor at the 100k-peer kernel scenario.
+OBS_OVERHEAD_CEILING = 1.02
+
+
+def _obs_overhead_record() -> dict[str, object]:
+    """Telemetry cost and result parity at the 100k-peer kernel scenario.
+
+    Runs the same seeded kernel best-of-3 with collection disabled and
+    best-of-3 with it enabled (into a throwaway collector, so the
+    benchmark's own profile stays clean). Wall-clock is the kernel's own
+    ``elapsed_seconds``; the reports must be bit-identical apart from
+    wall-clock — telemetry never touches an RNG stream.
+    """
+    from repro.experiments.scenario import fastsim_scenario
+
+    scenario = fastsim_scenario(scale=5.0)
+    duration = 1200.0
+    was_enabled = obs.enabled()
+
+    def best_of_three(enabled: bool):
+        seconds = []
+        report = None
+        for _ in range(3):
+            previous = obs.set_collector(obs.Collector())
+            if enabled:
+                obs.enable()
+            else:
+                obs.disable()
+            try:
+                report = run_fastsim(scenario, duration=duration, seed=0)
+            finally:
+                obs.disable()
+                obs.set_collector(previous)
+            seconds.append(report.elapsed_seconds)
+        return min(seconds), report
+
+    try:
+        disabled_seconds, disabled_report = best_of_three(False)
+        enabled_seconds, enabled_report = best_of_three(True)
+    finally:
+        if was_enabled:
+            obs.enable()
+    plain = disabled_report.to_dict()
+    telemetered = enabled_report.to_dict()
+    plain.pop("elapsed_seconds")
+    telemetered.pop("elapsed_seconds")
+    bit_identical = (
+        plain == telemetered
+        and disabled_report.hit_rate_series == enabled_report.hit_rate_series
+        and disabled_report.index_size_series
+        == enabled_report.index_size_series
+    )
+    return {
+        "scenario": "obs_overhead",
+        "num_peers": scenario.num_peers,
+        "duration_rounds": duration,
+        "disabled_seconds": disabled_seconds,
+        "enabled_seconds": enabled_seconds,
+        "overhead": (
+            enabled_seconds / disabled_seconds
+            if disabled_seconds > 0
+            else float("inf")
+        ),
+        "bit_identical": bit_identical,
+        "peak_rss_bytes": obs.peak_rss_bytes(),
     }
 
 
@@ -294,6 +382,19 @@ def enforce(payload: dict[str, object]) -> list[str]:
             f"{JOBS_SPEEDUP_FLOOR}x on a {cpus}-CPU runner: "
             f"{jobs['speedup']:.2f}x"
         )
+    observed = payload["obs_record"]
+    if not observed["bit_identical"]:
+        violations.append(
+            "telemetry-enabled kernel run diverged from the disabled run "
+            "(collection must never touch an RNG stream)"
+        )
+    if observed["overhead"] > OBS_OVERHEAD_CEILING:
+        violations.append(
+            f"telemetry overhead {observed['overhead']:.3f}x the disabled "
+            f"wall-clock (> {OBS_OVERHEAD_CEILING}x): "
+            f"{observed['disabled_seconds']:.3f}s -> "
+            f"{observed['enabled_seconds']:.3f}s"
+        )
     return violations
 
 
@@ -316,23 +417,51 @@ def _render(records: list[dict[str, object]]) -> str:
 
 
 def run_benchmark() -> dict[str, object]:
-    records = [
-        _compare_at(1_000, walk_probes=256),
-        _compare_at(10_000, walk_probes=128),
-        _vectorized_only_at(100_000),
-    ]
-    gate_records = [
-        _churn_record(0.9),
-        _churn_record(0.5),
-        _staleness_record(),
-    ]
+    # The overhead record measures its own enabled/disabled pairing, so
+    # it runs first, before telemetry is switched on for the rest of the
+    # benchmark (whose merged profile feeds the telemetry_record).
+    obs_record = _obs_overhead_record()
+    was_enabled = obs.enabled()
+    collector = obs.Collector()
+    previous = obs.set_collector(collector)
+    obs.enable()
+    try:
+        records = [
+            _compare_at(1_000, walk_probes=256),
+            _compare_at(10_000, walk_probes=128),
+            _vectorized_only_at(100_000),
+        ]
+        gate_records = [
+            _churn_record(0.9),
+            _churn_record(0.5),
+            _staleness_record(),
+        ]
+        workloads_record = _workloads_record()
+        jobs_record = _jobs_record()
+    finally:
+        if not was_enabled:
+            obs.disable()
+        obs.set_collector(previous)
+    snapshot = collector.snapshot()
+    calibration_seconds = sum(
+        data["seconds"]
+        for path, data in snapshot["spans"].items()
+        if "/" not in path and path.startswith("calibrate.")
+    )
+    telemetry_record = {
+        "calibration_seconds": calibration_seconds,
+        "cache_stats": calibration_cache_stats(),
+        "peak_rss_bytes": obs.peak_rss_bytes(),
+    }
     payload = {
         "benchmark": "fastsim_speedup",
         "duration_rounds": DURATION,
         "records": records,
         "gate_records": gate_records,
-        "workloads_record": _workloads_record(),
-        "jobs_record": _jobs_record(),
+        "workloads_record": workloads_record,
+        "jobs_record": jobs_record,
+        "obs_record": obs_record,
+        "telemetry_record": telemetry_record,
     }
     JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
@@ -372,6 +501,19 @@ if __name__ == "__main__":
         f"jobs={jobs['workers']} vs 1: {jobs['speedup']:.2f}x "
         f"({jobs['sequential_seconds']:.1f}s -> "
         f"{jobs['parallel_seconds']:.1f}s, {jobs['cpu_count']} CPUs)"
+    )
+    observed = payload["obs_record"]
+    print(
+        f"telemetry: {observed['overhead']:.3f}x overhead at "
+        f"{observed['num_peers']} peers "
+        f"({observed['disabled_seconds']:.3f}s -> "
+        f"{observed['enabled_seconds']:.3f}s), bit-identical="
+        f"{observed['bit_identical']}"
+    )
+    telemetry = payload["telemetry_record"]
+    print(
+        f"telemetry: calibration {telemetry['calibration_seconds']:.2f}s, "
+        f"peak RSS {telemetry['peak_rss_bytes'] / 2**20:.0f} MiB"
     )
     print(json.dumps(payload, indent=2))
     violations = enforce(payload)

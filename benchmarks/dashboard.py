@@ -1,0 +1,574 @@
+"""Static HTML trend dashboard over ``BENCH_history.jsonl``.
+
+Renders the committed benchmark trajectory (see :mod:`benchmarks.record`)
+as one self-contained HTML page with inline SVG line charts — no server,
+no JavaScript framework, no third-party assets. Each headline metric gets
+its own chart (speedup, kernel wall-clock, workloads slowdown, jobs
+scaling, telemetry overhead, peak RSS, calibration time); the
+cross-engine agreement drifts share one multi-series chart. Acceptance
+gates (10x speedup floor, 5% agreement tolerance, 1.2x workloads
+ceiling, 2.5x jobs floor, 2% telemetry ceiling) are drawn as dashed
+threshold lines so a drift toward a gate is visible before it trips.
+
+A full table view of every record sits below the charts — each chart
+value is reachable without hovering — and a hover layer (crosshair +
+tooltip across all series at the nearest run) rides on a few lines of
+inline vanilla JS.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/dashboard.py            # writes HTML
+    PYTHONPATH=src python benchmarks/dashboard.py --output out.html
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import json
+import math
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # running as a script
+    sys.path.insert(0, str(Path(__file__).parent))
+    from record import HISTORY_PATH, load_history
+else:
+    from benchmarks.record import HISTORY_PATH, load_history
+
+OUTPUT_PATH = Path(__file__).parent / "dashboard.html"
+
+__all__ = ["OUTPUT_PATH", "build_dashboard", "main"]
+
+# Categorical slots 1-5 (validated order; light / dark steps). Slot 1 is
+# also the single-series hue.
+_SERIES_LIGHT = ("#2a78d6", "#eb6834", "#1baf7a", "#eda100", "#e87ba4")
+_SERIES_DARK = ("#3987e5", "#d95926", "#199e70", "#c98500", "#d55181")
+
+# Chart geometry (pixels).
+_W, _H = 460, 200
+_PAD_L, _PAD_R, _PAD_T, _PAD_B = 52, 16, 14, 30
+
+
+def _get(record: dict, *path: str) -> object:
+    value: object = record
+    for key in path:
+        if not isinstance(value, dict):
+            return None
+        value = value.get(key)
+    return value
+
+
+def _fmt(value: float | None, unit: str) -> str:
+    if value is None:
+        return "-"
+    if unit == "%":
+        return f"{100 * value:.2f}%"
+    if unit == "x":
+        return f"{value:,.2f}x"
+    if unit == "s":
+        return f"{value:.2f}s" if value >= 1 else f"{value:.3f}s"
+    if unit == "MiB":
+        return f"{value / 2**20:,.0f} MiB"
+    return f"{value:g}"
+
+
+def _plot_value(value: float | None, unit: str) -> float | None:
+    """Value on the chart's y-scale (drifts in %, RSS in MiB)."""
+    if value is None:
+        return None
+    if unit == "%":
+        return 100 * value
+    if unit == "MiB":
+        return value / 2**20
+    return float(value)
+
+
+#: Chart catalogue: (id, title, unit, [(series name, extractor)],
+#: threshold) where threshold is (plot-scale value, label) or None.
+_CHARTS = [
+    (
+        "speedup",
+        "Vectorized speedup at 10k peers",
+        "x",
+        [("speedup", lambda r: _get(r, "speedup_10k"))],
+        (10.0, "gate: >= 10x"),
+    ),
+    (
+        "agreement",
+        "Cross-engine agreement drift",
+        "%",
+        [
+            ("hit rate 10k", lambda r: _get(r, "hit_rate_rel_diff_10k")),
+            ("cost 10k", lambda r: _get(r, "cost_rel_diff_10k")),
+            (
+                "churn a=0.9",
+                lambda r: _get(r, "churn_hit_rate_rel_diffs", "0.9"),
+            ),
+            (
+                "churn a=0.5",
+                lambda r: _get(r, "churn_hit_rate_rel_diffs", "0.5"),
+            ),
+            ("staleness", lambda r: _get(r, "staleness_rel_diff")),
+        ],
+        (5.0, "gate: <= 5%"),
+    ),
+    (
+        "kernel",
+        "Kernel wall-clock at 100k peers",
+        "s",
+        [("wall-clock", lambda r: _get(r, "vectorized_seconds_100k"))],
+        None,
+    ),
+    (
+        "workloads",
+        "GradualDrift slowdown vs stationary",
+        "x",
+        [("slowdown", lambda r: _get(r, "workloads_slowdown"))],
+        (1.2, "gate: <= 1.2x"),
+    ),
+    (
+        "jobs",
+        "Sweep speedup at jobs=4",
+        "x",
+        [("speedup", lambda r: _get(r, "jobs_speedup"))],
+        (2.5, "gate: >= 2.5x (>= 4 CPUs)"),
+    ),
+    (
+        "obs",
+        "Telemetry overhead (enabled / disabled)",
+        "x",
+        [("overhead", lambda r: _get(r, "obs_overhead"))],
+        (1.02, "gate: <= 1.02x"),
+    ),
+    (
+        "rss",
+        "Peak RSS",
+        "MiB",
+        [("peak RSS", lambda r: _get(r, "peak_rss_bytes"))],
+        None,
+    ),
+    (
+        "calibration",
+        "Calibration time per benchmark run",
+        "s",
+        [("calibration", lambda r: _get(r, "calibration_seconds"))],
+        None,
+    ),
+]
+
+
+def _nice_ticks(lo: float, hi: float, count: int = 4) -> list[float]:
+    """Clean tick values covering [lo, hi] (1/2/2.5/5 x 10^k steps)."""
+    if hi <= lo:
+        hi = lo + (abs(lo) or 1.0)
+    span = hi - lo
+    raw = span / max(count, 1)
+    magnitude = 10.0 ** math.floor(math.log10(raw))
+    for factor in (1.0, 2.0, 2.5, 5.0, 10.0):
+        step = factor * magnitude
+        if step >= raw:
+            break
+    first = math.floor(lo / step) * step
+    ticks = []
+    tick = first
+    while True:
+        ticks.append(round(tick, 10))
+        if tick >= hi - step * 1e-6:
+            break
+        tick += step
+    return ticks
+
+
+def _x_label(record: dict) -> str:
+    stamp = str(record.get("recorded_at") or "")[:10]
+    sha = record.get("sha")
+    return f"{stamp} {sha}" if sha else (stamp or "?")
+
+
+def _chart_svg(
+    chart_id: str,
+    unit: str,
+    series: list[tuple[str, list[float | None]]],
+    threshold: tuple[float, str] | None,
+    n: int,
+) -> tuple[str, list[float]]:
+    """Inline SVG for one chart; returns (svg, pixel x positions)."""
+    values = [v for _, vs in series for v in vs if v is not None]
+    if threshold is not None:
+        values.append(threshold[0])
+    if not values:
+        values = [0.0, 1.0]
+    lo, hi = min(values), max(values)
+    if unit in ("s", "MiB") or (unit == "x" and lo > 0 and hi / lo > 3):
+        lo = min(lo, 0.0)  # magnitudes grow from zero
+    pad = (hi - lo) * 0.12 or abs(hi) * 0.12 or 0.5
+    ticks = _nice_ticks(lo, hi + pad)
+    lo, hi = ticks[0], ticks[-1]
+
+    plot_w = _W - _PAD_L - _PAD_R
+    plot_h = _H - _PAD_T - _PAD_B
+    xs = [
+        _PAD_L + (plot_w / 2 if n == 1 else i * plot_w / (n - 1))
+        for i in range(n)
+    ]
+
+    def y(value: float) -> float:
+        return _PAD_T + plot_h * (1 - (value - lo) / (hi - lo))
+
+    parts = [
+        f'<svg viewBox="0 0 {_W} {_H}" role="img" '
+        f'aria-label="trend chart" data-chart="{chart_id}">'
+    ]
+    for tick in ticks:
+        ty = y(tick)
+        label = f"{tick:g}"
+        parts.append(
+            f'<line class="grid" x1="{_PAD_L}" y1="{ty:.1f}" '
+            f'x2="{_W - _PAD_R}" y2="{ty:.1f}"/>'
+            f'<text class="tick" x="{_PAD_L - 6}" y="{ty + 3.5:.1f}" '
+            f'text-anchor="end">{label}</text>'
+        )
+    parts.append(
+        f'<line class="axis" x1="{_PAD_L}" y1="{_PAD_T + plot_h}" '
+        f'x2="{_W - _PAD_R}" y2="{_PAD_T + plot_h}"/>'
+    )
+    if threshold is not None:
+        ty = y(threshold[0])
+        parts.append(
+            f'<line class="gate" x1="{_PAD_L}" y1="{ty:.1f}" '
+            f'x2="{_W - _PAD_R}" y2="{ty:.1f}"/>'
+            f'<text class="gate-label" x="{_W - _PAD_R}" '
+            f'y="{ty - 4:.1f}" text-anchor="end">'
+            f"{html.escape(threshold[1])}</text>"
+        )
+    parts.append(
+        f'<line class="crosshair" x1="0" y1="{_PAD_T}" x2="0" '
+        f'y2="{_PAD_T + plot_h}" visibility="hidden"/>'
+    )
+    for slot, (name, vs) in enumerate(series, start=1):
+        points = [
+            (xs[i], y(v)) for i, v in enumerate(vs) if v is not None
+        ]
+        if len(points) > 1:
+            path = "M" + " L".join(f"{px:.1f} {py:.1f}" for px, py in points)
+            parts.append(f'<path class="line s{slot}" d="{path}"/>')
+        for px, py in points:
+            parts.append(
+                f'<circle class="dot s{slot}" cx="{px:.1f}" '
+                f'cy="{py:.1f}" r="4"/>'
+            )
+        if points and len(series) == 1:
+            last = [v for v in vs if v is not None][-1]
+            px, py = points[-1]
+            anchor = "end" if px > _W - 70 else "start"
+            dx = -8 if anchor == "end" else 8
+            parts.append(
+                f'<text class="value" x="{px + dx:.1f}" y="{py - 8:.1f}" '
+                f'text-anchor="{anchor}">'
+                f"{html.escape(_fmt_plot(last, unit))}</text>"
+            )
+    parts.append("</svg>")
+    return "".join(parts), xs
+
+
+def _fmt_plot(value: float, unit: str) -> str:
+    """Format a value already on the plot scale (see _plot_value)."""
+    if unit == "%":
+        return f"{value:.2f}%"
+    if unit == "x":
+        return f"{value:,.2f}x"
+    if unit == "s":
+        return f"{value:.2f}s" if value >= 1 else f"{value:.3f}s"
+    if unit == "MiB":
+        return f"{value:,.0f} MiB"
+    return f"{value:g}"
+
+
+_STYLE = """
+:root {
+  color-scheme: light;
+  --surface: #fcfcfb; --page: #f9f9f7;
+  --ink: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a;
+  --s4: #eda100; --s5: #e87ba4;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface: #1a1a19; --page: #0d0d0d;
+    --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --axis: #383835;
+    --border: rgba(255,255,255,0.10);
+    --s1: #3987e5; --s2: #d95926; --s3: #199e70;
+    --s4: #c98500; --s5: #d55181;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px; background: var(--page); color: var(--ink);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+.sub { color: var(--ink-2); margin: 0 0 20px; }
+.grid-cards {
+  display: grid; gap: 16px;
+  grid-template-columns: repeat(auto-fill, minmax(420px, 1fr));
+}
+.card {
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 14px 16px 10px; position: relative;
+}
+.card h2 { font-size: 14px; font-weight: 600; margin: 0 0 8px; }
+svg { width: 100%; height: auto; display: block; }
+.grid { stroke: var(--grid); stroke-width: 1; }
+.axis { stroke: var(--axis); stroke-width: 1; }
+.tick, .x-label { fill: var(--muted); font-size: 10.5px; }
+.value { fill: var(--ink-2); font-size: 11px; font-weight: 600; }
+.gate { stroke: var(--muted); stroke-width: 1; stroke-dasharray: 4 3; }
+.gate-label { fill: var(--muted); font-size: 10px; }
+.crosshair { stroke: var(--axis); stroke-width: 1; }
+.line { fill: none; stroke-width: 2; stroke-linejoin: round;
+        stroke-linecap: round; }
+.dot { stroke: var(--surface); stroke-width: 2; }
+.line.s1 { stroke: var(--s1); } .dot.s1 { fill: var(--s1); }
+.line.s2 { stroke: var(--s2); } .dot.s2 { fill: var(--s2); }
+.line.s3 { stroke: var(--s3); } .dot.s3 { fill: var(--s3); }
+.line.s4 { stroke: var(--s4); } .dot.s4 { fill: var(--s4); }
+.line.s5 { stroke: var(--s5); } .dot.s5 { fill: var(--s5); }
+.legend {
+  display: flex; flex-wrap: wrap; gap: 4px 14px; margin: 6px 0 0;
+  padding: 0; list-style: none; font-size: 12px; color: var(--ink-2);
+}
+.legend .key {
+  display: inline-block; width: 14px; height: 0; vertical-align: middle;
+  border-top: 2.5px solid; border-radius: 2px; margin-right: 5px;
+}
+.legend .k1 { border-color: var(--s1); }
+.legend .k2 { border-color: var(--s2); }
+.legend .k3 { border-color: var(--s3); }
+.legend .k4 { border-color: var(--s4); }
+.legend .k5 { border-color: var(--s5); }
+.tooltip {
+  position: absolute; pointer-events: none; display: none; z-index: 2;
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 6px; padding: 6px 10px; font-size: 12px;
+  box-shadow: 0 2px 8px rgba(0,0,0,0.12); min-width: 120px;
+}
+.tooltip .when { color: var(--muted); margin-bottom: 3px; }
+.tooltip .row { display: flex; align-items: center; gap: 6px; }
+.tooltip .row b { margin-left: auto; font-variant-numeric: tabular-nums; }
+.tooltip .key {
+  display: inline-block; width: 12px; border-top: 2.5px solid;
+  border-radius: 2px;
+}
+table {
+  border-collapse: collapse; margin-top: 24px; width: 100%;
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; font-size: 12.5px;
+}
+caption {
+  text-align: left; font-size: 14px; font-weight: 600; padding: 0 0 8px;
+}
+th, td { padding: 6px 10px; text-align: right; border-top: 1px solid
+         var(--grid); font-variant-numeric: tabular-nums; }
+th { color: var(--ink-2); font-weight: 600; }
+th:first-child, td:first-child { text-align: left; }
+footer { color: var(--muted); font-size: 12px; margin-top: 18px; }
+"""
+
+_SCRIPT = """
+(function () {
+  var DATA = JSON.parse(
+    document.getElementById("chart-data").textContent);
+  document.querySelectorAll("svg[data-chart]").forEach(function (svg) {
+    var chart = DATA[svg.dataset.chart];
+    if (!chart || !chart.xs.length) return;
+    var card = svg.closest(".card");
+    var tip = card.querySelector(".tooltip");
+    var hair = svg.querySelector(".crosshair");
+    var scale = %(width)d / svg.getBoundingClientRect().width || 1;
+    svg.addEventListener("pointermove", function (event) {
+      var box = svg.getBoundingClientRect();
+      scale = %(width)d / box.width || 1;
+      var x = (event.clientX - box.left) * scale;
+      var best = 0;
+      chart.xs.forEach(function (px, i) {
+        if (Math.abs(px - x) < Math.abs(chart.xs[best] - x)) best = i;
+      });
+      hair.setAttribute("x1", chart.xs[best]);
+      hair.setAttribute("x2", chart.xs[best]);
+      hair.setAttribute("visibility", "visible");
+      while (tip.firstChild) tip.removeChild(tip.firstChild);
+      var when = document.createElement("div");
+      when.className = "when";
+      when.textContent = chart.labels[best];
+      tip.appendChild(when);
+      chart.series.forEach(function (s, k) {
+        var row = document.createElement("div");
+        row.className = "row";
+        var key = document.createElement("span");
+        key.className = "key";
+        key.style.borderTopColor =
+          "var(--s" + ((k %% 5) + 1) + ")";
+        var name = document.createElement("span");
+        name.textContent = s.name;
+        var value = document.createElement("b");
+        value.textContent = s.display[best];
+        row.appendChild(key); row.appendChild(name);
+        row.appendChild(value);
+        tip.appendChild(row);
+      });
+      tip.style.display = "block";
+      var left = (chart.xs[best] / scale) + 14;
+      if (left + tip.offsetWidth > box.width) {
+        left = (chart.xs[best] / scale) - tip.offsetWidth - 14;
+      }
+      tip.style.left = Math.max(0, left) + "px";
+      tip.style.top = "34px";
+    });
+    svg.addEventListener("pointerleave", function () {
+      tip.style.display = "none";
+      hair.setAttribute("visibility", "hidden");
+    });
+  });
+})();
+"""
+
+
+def build_dashboard(records: list[dict[str, object]]) -> str:
+    """The full dashboard page for a list of history records."""
+    n = len(records)
+    labels = [_x_label(r) for r in records]
+    cards = []
+    chart_data: dict[str, object] = {}
+    for chart_id, title, unit, series_spec, threshold in _CHARTS:
+        series = [
+            (name, [_plot_value(extract(r), unit) for r in records])
+            for name, extract in series_spec
+        ]
+        svg, xs = _chart_svg(chart_id, unit, series, threshold, n)
+        legend = ""
+        if len(series) > 1:
+            legend = (
+                '<ul class="legend">'
+                + "".join(
+                    f'<li><span class="key k{k}"></span>'
+                    f"{html.escape(name)}</li>"
+                    for k, (name, _) in enumerate(series, start=1)
+                )
+                + "</ul>"
+            )
+        cards.append(
+            f'<div class="card"><h2>{html.escape(title)}</h2>'
+            f'{svg}{legend}<div class="tooltip"></div></div>'
+        )
+        chart_data[chart_id] = {
+            "xs": [round(x, 1) for x in xs],
+            "labels": labels,
+            "series": [
+                {
+                    "name": name,
+                    "display": [
+                        _fmt_plot(v, unit) if v is not None else "-"
+                        for v in vs
+                    ],
+                }
+                for name, vs in series
+            ],
+        }
+
+    columns = [
+        ("speedup 10k", "x", lambda r: _get(r, "speedup_10k")),
+        ("hit drift 10k", "%", lambda r: _get(r, "hit_rate_rel_diff_10k")),
+        ("cost drift 10k", "%", lambda r: _get(r, "cost_rel_diff_10k")),
+        ("100k [s]", "s", lambda r: _get(r, "vectorized_seconds_100k")),
+        ("drift x", "x", lambda r: _get(r, "workloads_slowdown")),
+        ("jobs x", "x", lambda r: _get(r, "jobs_speedup")),
+        ("obs x", "x", lambda r: _get(r, "obs_overhead")),
+        ("calib [s]", "s", lambda r: _get(r, "calibration_seconds")),
+        ("peak RSS", "MiB", lambda r: _get(r, "peak_rss_bytes")),
+    ]
+    rows = []
+    for record, label in zip(records, labels):
+        cells = "".join(
+            f"<td>{_fmt(extract(record), unit)}</td>"
+            for _, unit, extract in columns
+        )
+        rows.append(f"<tr><td>{html.escape(label)}</td>{cells}</tr>")
+    header = "".join(
+        f"<th>{html.escape(name)}</th>" for name, _, _ in columns
+    )
+    table = (
+        "<table><caption>All records</caption>"
+        f"<tr><th>run</th>{header}</tr>"
+        + "".join(reversed(rows))
+        + "</table>"
+    )
+
+    latest = labels[-1] if labels else "none"
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>fastsim benchmark trends</title>
+<style>{_STYLE}</style>
+</head>
+<body>
+<h1>fastsim benchmark trends</h1>
+<p class="sub">{n} committed record{"s" if n != 1 else ""} in
+BENCH_history.jsonl &middot; latest: {html.escape(latest)} &middot;
+dashed lines are acceptance gates</p>
+<div class="grid-cards">
+{"".join(cards)}
+</div>
+{table}
+<footer>Generated by benchmarks/dashboard.py from
+benchmarks/BENCH_history.jsonl &mdash; append records with
+benchmarks/record.py after a bench_fastsim run.</footer>
+<script type="application/json" id="chart-data">
+{json.dumps(chart_data)}
+</script>
+<script>{_SCRIPT % {"width": _W}}</script>
+</body>
+</html>
+"""
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.dashboard",
+        description="Render BENCH_history.jsonl as a static HTML "
+        "trend dashboard.",
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=HISTORY_PATH,
+        help="history file to read (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=OUTPUT_PATH,
+        help="HTML file to write (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    records = load_history(args.history)
+    if not records:
+        print(
+            f"error: no records in {args.history} — run "
+            "bench_fastsim.py, then benchmarks/record.py",
+            file=sys.stderr,
+        )
+        return 1
+    args.output.write_text(build_dashboard(records))
+    print(f"wrote {args.output} ({len(records)} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

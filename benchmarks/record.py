@@ -1,0 +1,247 @@
+"""Compact one ``bench_fastsim.json`` payload into a history record.
+
+The full benchmark payload is a few hundred lines of nested records; the
+trend dashboard only needs the headline numbers. :func:`build_record`
+flattens a payload into one small dict and :func:`append_record` appends
+it as a single line to ``benchmarks/BENCH_history.jsonl`` — an
+append-only, committed trajectory of the benchmark over time.
+``benchmarks/dashboard.py`` renders the history as a static HTML page.
+
+Record fields (all optional except ``schema``/``recorded_at`` — the
+builder is tolerant of older payloads that predate a given record)::
+
+    schema                    history record schema version (currently 1)
+    recorded_at               ISO-8601 UTC timestamp
+    sha                       git commit the benchmark ran at (if known)
+    version                   repro package version
+    speedup_10k               vectorized-vs-event speedup at 10k peers
+    hit_rate_rel_diff_10k     cross-engine hit-rate drift at 10k peers
+    cost_rel_diff_10k         cross-engine cost drift at 10k peers
+    vectorized_seconds_100k   kernel wall-clock at 100k peers
+    queries_per_second_100k   simulated queries/s at 100k peers
+    churn_hit_rate_rel_diffs  {availability: drift} for the churn gates
+    staleness_rel_diff        stale-fraction drift at the staleness gate
+    workloads_slowdown        GradualDrift / stationary wall-clock ratio
+    jobs_speedup              sweep speedup at jobs=N vs jobs=1
+    jobs_workers, jobs_cpus   pool size and runner CPU count
+    obs_overhead              telemetry-enabled / disabled wall-clock
+    obs_bit_identical         seeded parity with telemetry on
+    calibration_seconds       total time inside calibrate.* spans
+    peak_rss_bytes            process peak RSS at the end of the run
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/record.py               # append
+    PYTHONPATH=src python benchmarks/record.py --dry-run     # print only
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+HISTORY_PATH = Path(__file__).parent / "BENCH_history.jsonl"
+PAYLOAD_PATH = Path(__file__).parent / "bench_fastsim.json"
+
+#: Bump when a record field changes meaning (additions are free — the
+#: dashboard reads fields with ``.get`` and skips absent ones).
+RECORD_SCHEMA = 1
+
+__all__ = [
+    "HISTORY_PATH",
+    "PAYLOAD_PATH",
+    "RECORD_SCHEMA",
+    "build_record",
+    "append_record",
+    "load_history",
+    "main",
+]
+
+
+def _git_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def _version() -> str | None:
+    try:
+        import repro
+
+        return repro.__version__
+    except Exception:
+        return None
+
+
+def build_record(
+    payload: dict[str, object],
+    sha: str | None = None,
+    recorded_at: str | None = None,
+) -> dict[str, object]:
+    """Flatten a ``bench_fastsim`` payload into one history record.
+
+    Every metric is read with ``.get`` so a payload from an older
+    benchmark (missing, say, the obs record) still yields a record —
+    the absent fields are simply omitted and the dashboard skips them.
+    """
+    if recorded_at is None:
+        recorded_at = _dt.datetime.now(_dt.timezone.utc).isoformat(
+            timespec="seconds"
+        )
+    record: dict[str, object] = {
+        "schema": RECORD_SCHEMA,
+        "recorded_at": recorded_at,
+    }
+    if sha is None:
+        sha = _git_sha()
+    if sha:
+        record["sha"] = sha
+    version = _version()
+    if version:
+        record["version"] = version
+
+    records = payload.get("records") or []
+    by_peers = {
+        r.get("num_peers"): r for r in records if isinstance(r, dict)
+    }
+    at_10k = by_peers.get(10_000, {})
+    for source, target in (
+        ("speedup", "speedup_10k"),
+        ("hit_rate_rel_diff", "hit_rate_rel_diff_10k"),
+        ("cost_rel_diff", "cost_rel_diff_10k"),
+    ):
+        if at_10k.get(source) is not None:
+            record[target] = at_10k[source]
+    at_100k = by_peers.get(100_000, {})
+    if at_100k.get("vectorized_seconds") is not None:
+        record["vectorized_seconds_100k"] = at_100k["vectorized_seconds"]
+    if at_100k.get("simulated_queries_per_second") is not None:
+        record["queries_per_second_100k"] = at_100k[
+            "simulated_queries_per_second"
+        ]
+
+    churn: dict[str, object] = {}
+    for gate in payload.get("gate_records") or []:
+        if not isinstance(gate, dict):
+            continue
+        if gate.get("scenario") == "churn":
+            churn[str(gate.get("availability"))] = gate.get(
+                "hit_rate_rel_diff"
+            )
+        elif gate.get("scenario") == "staleness":
+            if gate.get("staleness_rel_diff") is not None:
+                record["staleness_rel_diff"] = gate["staleness_rel_diff"]
+    if churn:
+        record["churn_hit_rate_rel_diffs"] = churn
+
+    workloads = payload.get("workloads_record") or {}
+    if workloads.get("slowdown") is not None:
+        record["workloads_slowdown"] = workloads["slowdown"]
+
+    jobs = payload.get("jobs_record") or {}
+    if jobs.get("speedup") is not None:
+        record["jobs_speedup"] = jobs["speedup"]
+        record["jobs_workers"] = jobs.get("workers")
+        record["jobs_cpus"] = jobs.get("cpu_count")
+
+    observed = payload.get("obs_record") or {}
+    if observed.get("overhead") is not None:
+        record["obs_overhead"] = observed["overhead"]
+        record["obs_bit_identical"] = observed.get("bit_identical")
+
+    telemetry = payload.get("telemetry_record") or {}
+    if telemetry.get("calibration_seconds") is not None:
+        record["calibration_seconds"] = telemetry["calibration_seconds"]
+
+    peak = 0
+    for source in [telemetry, observed, jobs, workloads, *records]:
+        if isinstance(source, dict):
+            value = source.get("peak_rss_bytes")
+            if isinstance(value, (int, float)):
+                peak = max(peak, int(value))
+    if peak:
+        record["peak_rss_bytes"] = peak
+    return record
+
+
+def append_record(
+    record: dict[str, object], path: Path = HISTORY_PATH
+) -> Path:
+    """Append one record as a single JSONL line; returns the path."""
+    line = json.dumps(record, sort_keys=True)
+    with path.open("a") as handle:
+        handle.write(line + "\n")
+    return path
+
+
+def load_history(path: Path = HISTORY_PATH) -> list[dict[str, object]]:
+    """All committed history records, oldest first (empty if no file)."""
+    if not path.exists():
+        return []
+    records = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.record",
+        description="Append a compact bench_fastsim record to "
+        "BENCH_history.jsonl.",
+    )
+    parser.add_argument(
+        "--payload",
+        type=Path,
+        default=PAYLOAD_PATH,
+        help="bench_fastsim JSON payload (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=HISTORY_PATH,
+        help="history file to append to (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--sha", default=None, help="commit sha override (default: git)"
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the record without appending it",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.payload.exists():
+        print(
+            f"error: no payload at {args.payload} — run "
+            "benchmarks/bench_fastsim.py first",
+            file=sys.stderr,
+        )
+        return 1
+    payload = json.loads(args.payload.read_text())
+    record = build_record(payload, sha=args.sha)
+    print(json.dumps(record, indent=2, sort_keys=True))
+    if not args.dry_run:
+        path = append_record(record, path=args.history)
+        print(f"appended to {path} ({len(load_history(path))} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,6 +47,7 @@ from repro.experiments.figures import (
     simulated_figure1,
     adaptivity_experiment,
     adaptivity_tracking,
+    adaptivity_lag_table,
     churn_experiment,
     staleness_experiment,
 )
@@ -102,6 +103,7 @@ __all__ = [
     "simulated_figure1",
     "adaptivity_experiment",
     "adaptivity_tracking",
+    "adaptivity_lag_table",
     "churn_experiment",
     "staleness_experiment",
     "TableSeries",

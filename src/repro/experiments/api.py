@@ -35,6 +35,7 @@ from dataclasses import dataclass, field, fields as dataclass_fields, replace
 from pathlib import Path
 from typing import Callable, Iterator, Mapping, Optional
 
+from repro import obs
 from repro.analysis.parameters import ScenarioParameters
 from repro.errors import CapabilityError, ParameterError
 from repro.experiments import figures, tables
@@ -389,6 +390,11 @@ class ExperimentResult:
     #: then carries the seed-mean series plus one "<name> ci95" series of
     #: half-widths (:func:`repro.experiments.stats.summarise`).
     replication: Optional[dict[str, object]] = None
+    #: Merged telemetry snapshot of this run (spans/counters/gauges,
+    #: pool workers folded in) when collection was enabled
+    #: (:func:`repro.obs.enable` or the runner's ``--profile``); ``None``
+    #: otherwise. Render it with :func:`repro.obs.profile_text`.
+    telemetry: Optional[dict[str, object]] = None
 
     def render(self) -> str:
         return self.figure.render()
@@ -462,35 +468,23 @@ def run(name: str, **overrides: object) -> ExperimentResult:
         params=replace(merged, engine=engine),
     )
     started = time.perf_counter()
-    replication: Optional[dict[str, object]] = None
-    replicates = merged.replicates or 1
-    if replicates > 1:
-        base_seed = merged.seed if merged.seed is not None else 0
-        seeds = tuple(base_seed + i for i in range(replicates))
-        # One builder invocation per seed. The seeds are independent, so
-        # jobs > 1 fans them over a process pool (each child context runs
-        # its own units sequentially — no nested pools); jobs=1 keeps the
-        # historical in-process loop.
-        contexts = [
-            replace(
-                ctx,
-                params=replace(ctx.params, seed=run_seed, jobs=1),
-            )
-            for run_seed in seeds
-        ]
-        workers = _resolve_worker_count(ctx.jobs)
-        if workers > 1 and len(contexts) > 1:
-            from concurrent.futures import ProcessPoolExecutor
-
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(contexts))
-            ) as pool:
-                figures_by_seed = list(pool.map(_build_in_context, contexts))
-        else:
-            figures_by_seed = [_build_in_context(c) for c in contexts]
-        figure, replication = _aggregate_replicates(figures_by_seed, seeds)
+    telemetry: Optional[dict[str, object]] = None
+    if obs.enabled():
+        # Carve this run's telemetry into its own collector so the
+        # result's block describes exactly this experiment; the scoped
+        # exit folds it back into the session collector, so nothing is
+        # lost for whole-session profiles.
+        with obs.scoped() as local:
+            with obs.span(
+                "experiment.run",
+                experiment=spec.name,
+                engine=engine or "none",
+            ):
+                figure, replication = _execute(spec, ctx, merged)
+            obs.sample_peak_rss()
+        telemetry = local.snapshot()
     else:
-        figure = spec.builder(ctx)
+        figure, replication = _execute(spec, ctx, merged)
     wall_clock = time.perf_counter() - started
 
     import repro  # late: repro/__init__ imports this module at its end
@@ -511,7 +505,55 @@ def run(name: str, **overrides: object) -> ExperimentResult:
         wall_clock_seconds=wall_clock,
         version=repro.__version__,
         replication=replication,
+        telemetry=telemetry,
     )
+
+
+def _execute(
+    spec: ExperimentSpec, ctx: "ExperimentContext", merged: ExperimentParams
+) -> tuple[FigureSeries, Optional[dict[str, object]]]:
+    """Build the figure, fanning replicate seeds over a pool if asked."""
+    replication: Optional[dict[str, object]] = None
+    replicates = merged.replicates or 1
+    if replicates > 1:
+        base_seed = merged.seed if merged.seed is not None else 0
+        seeds = tuple(base_seed + i for i in range(replicates))
+        # One builder invocation per seed. The seeds are independent, so
+        # jobs > 1 fans them over a process pool (each child context runs
+        # its own units sequentially — no nested pools); jobs=1 keeps the
+        # historical in-process loop.
+        contexts = [
+            replace(
+                ctx,
+                params=replace(ctx.params, seed=run_seed, jobs=1),
+            )
+            for run_seed in seeds
+        ]
+        workers = _resolve_worker_count(ctx.jobs)
+        if workers > 1 and len(contexts) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            collect = obs.enabled()
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(contexts))
+            ) as pool:
+                outcomes = list(
+                    pool.map(
+                        _build_in_context_telemetry,
+                        [(c, collect) for c in contexts],
+                    )
+                )
+            figures_by_seed = [fig for fig, _ in outcomes]
+            # Re-rooted under the caller's current span path
+            # (experiment.run), matching the sequential loop's nesting.
+            for _, snapshot in outcomes:
+                obs.merge_snapshot(snapshot)
+        else:
+            figures_by_seed = [_build_in_context(c) for c in contexts]
+        figure, replication = _aggregate_replicates(figures_by_seed, seeds)
+    else:
+        figure = spec.builder(ctx)
+    return figure, replication
 
 
 def _resolve_worker_count(jobs: int) -> int:
@@ -529,6 +571,28 @@ def _build_in_context(ctx: ExperimentContext) -> FigureSeries:
     the scenario/params ride along as small frozen dataclasses.
     """
     return ctx.spec.builder(ctx)
+
+
+def _build_in_context_telemetry(
+    payload: tuple["ExperimentContext", bool],
+) -> tuple[FigureSeries, Optional[dict[str, object]]]:
+    """Replicate-worker entry: builds the figure and ships telemetry back.
+
+    The collection flag travels with the payload (spawned workers do not
+    inherit the parent's module state); each replicate records into its
+    own scoped collector so reused pool workers never leak one seed's
+    spans into another's snapshot.
+    """
+    ctx, collect = payload
+    if not collect:
+        return _build_in_context(ctx), None
+    obs.enable()
+    obs.reset_span_stack()
+    with obs.scoped(merge_into_parent=False) as local:
+        figure = _build_in_context(ctx)
+        obs.sample_peak_rss("worker")
+        snapshot = local.snapshot()
+    return figure, snapshot
 
 
 #: Confidence level of the ``replicates=N`` aggregation.
@@ -704,6 +768,30 @@ def _adaptivity(ctx: ExperimentContext) -> FigureSeries:
 )
 def _adaptivity_tracking(ctx: ExperimentContext) -> FigureSeries:
     return figures.adaptivity_tracking(
+        params=ctx.scenario,
+        duration=ctx.duration,
+        window=ctx.window,
+        shift_at=ctx.params.shift_at,
+        seed=ctx.seed,
+        engine=ctx.engine,
+        workload=ctx.params.workload,
+        jobs=ctx.jobs,
+    )
+
+
+@experiment(
+    "adaptivity-lag",
+    "Extension - per-model convergence lag after the first workload shift",
+    SIMULATED,
+    engines=("vectorized", "event"),
+    accepts={"engine", "duration", "seed", "scale", "shift_at", "window",
+             "workload", "jobs"},
+    duration=1200.0,
+    seed=0,
+    scale=SIMULATION_SCALE,
+)
+def _adaptivity_lag(ctx: ExperimentContext) -> FigureSeries:
+    return figures.adaptivity_lag_table(
         params=ctx.scenario,
         duration=ctx.duration,
         window=ctx.window,

@@ -61,6 +61,7 @@ def figure_to_json(figure: FigureSeries) -> str:
     rows = getattr(figure, "rows", None)
     if rows is not None:
         payload["rows"] = [list(row) for row in rows]
+        payload["headers"] = list(getattr(figure, "headers", ()) or ())
     return json.dumps(payload, indent=2)
 
 
@@ -83,9 +84,12 @@ def load_figure_json(text: str) -> FigureSeries:
     if "rows" in payload:
         from repro.experiments.tables import TableSeries
 
-        return TableSeries(
-            **fields, rows=[tuple(row) for row in payload["rows"]]
+        table_fields = dict(
+            fields, rows=[tuple(row) for row in payload["rows"]]
         )
+        if payload.get("headers"):
+            table_fields["headers"] = tuple(payload["headers"])
+        return TableSeries(**table_fields)
     return FigureSeries(**fields)
 
 
@@ -93,7 +97,8 @@ def result_to_json(result: "ExperimentResult") -> str:
     """Serialise an experiment result: provenance envelope plus figure.
 
     A ``replicates=N`` result additionally keeps its replication payload
-    (seeds, confidence, per-seed series values)."""
+    (seeds, confidence, per-seed series values); a run executed with
+    telemetry enabled keeps its merged ``telemetry`` snapshot."""
     payload: dict[str, object] = {
         "experiment": result.name,
         "title": result.title,
@@ -102,6 +107,8 @@ def result_to_json(result: "ExperimentResult") -> str:
     }
     if result.replication is not None:
         payload["replication"] = result.replication
+    if result.telemetry is not None:
+        payload["telemetry"] = result.telemetry
     return json.dumps(payload, indent=2)
 
 
@@ -134,6 +141,7 @@ def load_result_json(text: str) -> "ExperimentResult":
         wall_clock_seconds=float(provenance.get("wall_clock_seconds", 0.0)),
         version=provenance.get("version", ""),
         replication=payload.get("replication"),
+        telemetry=payload.get("telemetry"),
     )
 
 

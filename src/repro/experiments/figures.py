@@ -81,6 +81,7 @@ __all__ = [
     "simulated_figure1",
     "adaptivity_experiment",
     "adaptivity_tracking",
+    "adaptivity_lag_table",
     "churn_experiment",
     "staleness_experiment",
 ]
@@ -712,31 +713,21 @@ def _convergence_lag(
     return float("inf")
 
 
-def adaptivity_tracking(
-    params: Optional[ScenarioParameters] = None,
-    duration: float = 1200.0,
-    window: Optional[float] = None,
-    shift_at: Optional[float] = None,
-    seed: int = 0,
-    engine: str = "vectorized",
-    workload: Optional[str] = None,
-    jobs: int = 1,
-) -> FigureSeries:
-    """Extension: how fast the selection strategy tracks each workload model.
+def _tracking_reports(
+    params: Optional[ScenarioParameters],
+    duration: float,
+    window: Optional[float],
+    shift_at: Optional[float],
+    seed: int,
+    engine: str,
+    workload: Optional[str],
+    jobs: int,
+):
+    """Run selection + oracle across workload models; shared plumbing of
+    :func:`adaptivity_tracking` and :func:`adaptivity_lag_table`.
 
-    For every workload model (the :data:`TRACKING_WORKLOADS` presets, or
-    the single model named by ``workload``) this runs the Section 5
-    selection strategy next to the ``partialIdeal`` oracle — which knows
-    the *current* popularity ranks and therefore adapts instantly — and
-    reports both windowed hit-rate curves plus the selection strategy's
-    convergence lag after the model's first shift (rounds until the hit
-    rate recovers to 90% of its pre-shift level). The oracle curve is the
-    upper envelope; the gap after each boundary *is* the price of
-    decentralized adaptation the paper's Section 5.2 claim is about.
-
-    Runs on either engine; ``engine="vectorized"`` is the default (the
-    tracking curves want long durations) and ``jobs > 1`` fans the
-    2 x models independent kernel runs over a process pool there.
+    Returns ``(params, names, models, reports)`` where ``reports`` maps
+    ``(model_name, strategy)`` to the windowed run report.
     """
     import numpy as np
 
@@ -797,8 +788,41 @@ def adaptivity_tracking(
                 zipf, runner.network.streams.get("queries-model")
             )
             reports[(name, strategy)] = runner.run(duration, window=window)
+    return params, names, models, reports
 
-    reference = reports[cells[0]].hit_rate_series
+
+def adaptivity_tracking(
+    params: Optional[ScenarioParameters] = None,
+    duration: float = 1200.0,
+    window: Optional[float] = None,
+    shift_at: Optional[float] = None,
+    seed: int = 0,
+    engine: str = "vectorized",
+    workload: Optional[str] = None,
+    jobs: int = 1,
+) -> FigureSeries:
+    """Extension: how fast the selection strategy tracks each workload model.
+
+    For every workload model (the :data:`TRACKING_WORKLOADS` presets, or
+    the single model named by ``workload``) this runs the Section 5
+    selection strategy next to the ``partialIdeal`` oracle — which knows
+    the *current* popularity ranks and therefore adapts instantly — and
+    reports both windowed hit-rate curves plus the selection strategy's
+    convergence lag after the model's first shift (rounds until the hit
+    rate recovers to 90% of its pre-shift level). The oracle curve is the
+    upper envelope; the gap after each boundary *is* the price of
+    decentralized adaptation the paper's Section 5.2 claim is about.
+
+    Runs on either engine; ``engine="vectorized"`` is the default (the
+    tracking curves want long durations) and ``jobs > 1`` fans the
+    2 x models independent kernel runs over a process pool there.
+    The structured per-model lag table is
+    :func:`adaptivity_lag_table` (experiment ``adaptivity-lag``).
+    """
+    params, names, models, reports = _tracking_reports(
+        params, duration, window, shift_at, seed, engine, workload, jobs
+    )
+    reference = reports[(names[0], "partialSelection")].hit_rate_series
     times = [f"{t:.0f}" for t, _ in reference]
     series: dict[str, list[float]] = {}
     lags: list[str] = []
@@ -825,5 +849,91 @@ def adaptivity_tracking(
             "instantly); convergence lag [rounds] "
             f"(hit rate back to {TRACKING_RECOVERY:.0%} of pre-shift): "
             + ", ".join(lags)
+        ),
+    )
+
+
+def adaptivity_lag_table(
+    params: Optional[ScenarioParameters] = None,
+    duration: float = 1200.0,
+    window: Optional[float] = None,
+    shift_at: Optional[float] = None,
+    seed: int = 0,
+    engine: str = "vectorized",
+    workload: Optional[str] = None,
+    jobs: int = 1,
+) -> "TableSeries":
+    """The per-model convergence-lag table, as structured data.
+
+    Same runs as :func:`adaptivity_tracking` (selection next to the
+    ``partialIdeal`` oracle per workload model), but instead of the
+    hit-rate curves it tabulates, per model: the model's first shift
+    time, the selection strategy's convergence lag (rounds until the
+    windowed hit rate recovers to :data:`TRACKING_RECOVERY` of its
+    pre-shift level; ``inf`` if the run ends unrecovered, ``0`` for a
+    shift-free model), both strategies' whole-run hit rates, and the
+    oracle gap (oracle minus selection). Exports like any figure
+    (CSV/JSON), with the row layout preserved.
+    """
+    from repro.experiments.tables import TableSeries
+
+    params, names, models, reports = _tracking_reports(
+        params, duration, window, shift_at, seed, engine, workload, jobs
+    )
+    shifts: list[float] = []
+    lags: list[float] = []
+    selection_hits: list[float] = []
+    oracle_hits: list[float] = []
+    gaps: list[float] = []
+    rows: list[tuple] = []
+    for name in names:
+        selection = reports[(name, "partialSelection")]
+        oracle = reports[(name, "partialIdeal")]
+        first_shift = models[name].next_boundary(-float("inf"))
+        lag = _convergence_lag(selection.hit_rate_series, first_shift)
+        gap = oracle.hit_rate - selection.hit_rate
+        shifts.append(first_shift)
+        lags.append(lag)
+        selection_hits.append(selection.hit_rate)
+        oracle_hits.append(oracle.hit_rate)
+        gaps.append(gap)
+        rows.append(
+            (
+                name,
+                f"{first_shift:g}",
+                f"{lag:g}",
+                f"{selection.hit_rate:.4f}",
+                f"{oracle.hit_rate:.4f}",
+                f"{gap:+.4f}",
+            )
+        )
+    return TableSeries(
+        name=(
+            f"Extension - convergence lag per workload model "
+            f"({params.num_peers} peers, {engine})"
+        ),
+        x_label="model",
+        x_values=list(names),
+        series={
+            "first shift [r]": shifts,
+            "convergence lag [r]": lags,
+            "selection hit rate": selection_hits,
+            "oracle hit rate": oracle_hits,
+            "oracle gap": gaps,
+        },
+        notes=(
+            f"lag = rounds until the windowed hit rate recovers to "
+            f"{TRACKING_RECOVERY:.0%} of its pre-shift level "
+            f"(inf = unrecovered at run end, 0 = shift-free model); "
+            f"gap = oracle - selection whole-run hit rate"
+        ),
+        rows=rows,
+        headers=(
+            "Model",
+            "First shift [r]",
+            "Lag [r]",
+            "Selection hit",
+            "Oracle hit",
+            "Gap",
         ),
     )

@@ -23,6 +23,12 @@ machine-readable series (JSON results carry full provenance, including
 per-seed values for replicated runs), and ``--output DIR`` writes one
 file per experiment instead of printing.
 
+``--profile`` enables telemetry collection (:mod:`repro.obs`) for the
+run: every result carries its merged span/counter/gauge snapshot in the
+``telemetry`` provenance block (exported with ``--format json``), and a
+per-experiment profile tree is printed to **stderr** so it composes with
+piped/redirected stdout output.
+
 The pre-registry ``EXPERIMENTS`` dict shim is gone; use
 :func:`repro.experiments.api.run` and the registry.
 """
@@ -32,6 +38,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.errors import CapabilityError, ReproError
 from repro.experiments.api import (
     ExperimentResult,
@@ -151,6 +158,12 @@ def main(argv: list[str] | None = None) -> int:
         "or trace:<path> to replay a recorded query trace)",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect telemetry: print a span/counter profile tree to "
+        "stderr per experiment and embed the snapshot in JSON results",
+    )
+    parser.add_argument(
         "--format",
         choices=FORMATS,
         default="text",
@@ -194,27 +207,45 @@ def main(argv: list[str] | None = None) -> int:
         "jobs": args.jobs,
         "workload": args.workload,
     }
-    for name in names:
-        spec = get_spec(name)
-        overrides = {
-            key: value
-            for key, value in flags.items()
-            if value is not None and key in spec.accepts
-        }
-        # An explicit engine request must not be silently dropped for a
-        # simulated experiment: api.run raises CapabilityError with the
-        # gate reason. Analytical experiments have nothing to simulate,
-        # so --engine is irrelevant there (and filtered above).
-        try:
-            result = run(name, **overrides)
-        except CapabilityError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        except ReproError as exc:
-            print(f"error: {name}: {exc}", file=sys.stderr)
-            return 1
-        _emit(result, args)
-    return 0
+    # --profile turns collection on for the run and restores the prior
+    # state afterwards (the flag must not leak into in-process callers,
+    # e.g. the test suite invoking main() directly).
+    profile_was_enabled = obs.enabled()
+    if args.profile:
+        obs.enable()
+    try:
+        for name in names:
+            spec = get_spec(name)
+            overrides = {
+                key: value
+                for key, value in flags.items()
+                if value is not None and key in spec.accepts
+            }
+            # An explicit engine request must not be silently dropped
+            # for a simulated experiment: api.run raises CapabilityError
+            # with the gate reason. Analytical experiments have nothing
+            # to simulate, so --engine is irrelevant there (and filtered
+            # above).
+            try:
+                result = run(name, **overrides)
+            except CapabilityError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            except ReproError as exc:
+                print(f"error: {name}: {exc}", file=sys.stderr)
+                return 1
+            _emit(result, args)
+            if args.profile and result.telemetry is not None:
+                print(
+                    obs.profile_text(
+                        result.telemetry, title=f"profile: {name}"
+                    ),
+                    file=sys.stderr,
+                )
+        return 0
+    finally:
+        if args.profile and not profile_was_enabled:
+            obs.disable()
 
 
 if __name__ == "__main__":

@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Iterator, Optional
 
+from repro import obs
 from repro.analysis.parameters import ScenarioParameters
 from repro.analysis.selection_model import SelectionModel
 from repro.errors import ParameterError
@@ -219,7 +220,15 @@ def sweep_grid(
                 churn=churn_config_for_availability(point.availability),
             )
         )
-    reports = run_many(grid_jobs, workers=jobs)
+    with obs.span("sweep.grid", cells=len(grid_jobs), jobs=jobs):
+        reports = run_many(grid_jobs, workers=jobs)
+    if obs.enabled():
+        # Per-cell timing from the reports themselves: this works for
+        # any ``jobs`` value (pool workers already measured themselves)
+        # and gives the sweep a cell-granular cost breakdown.
+        for report in reports:
+            obs.add_duration("sweep.cell", report.elapsed_seconds)
+        obs.count("sweep.cells", len(reports))
 
     labels: list[str] = []
     hit_rates: list[float] = []

@@ -34,18 +34,18 @@ _DESCRIPTIONS = {
 class TableSeries(FigureSeries):
     """A paper table in figure clothing.
 
-    ``x_values`` are the parameter names and the single ``value`` series
-    holds the numeric values (losslessly exportable); ``rows`` keeps the
-    original (description, parameter, value) triples so :meth:`render`
-    reproduces the paper's table layout.
+    ``x_values`` are the row keys and the series hold the numeric values
+    (losslessly exportable); ``rows`` keeps the original row tuples so
+    :meth:`render` reproduces the table layout under ``headers`` (which
+    default to Table 1's historical three columns). Headers and rows
+    survive the JSON export round-trip.
     """
 
-    rows: list[tuple[str, str, object]] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+    headers: tuple[str, ...] = ("Description", "Param.", "Value")
 
     def render(self) -> str:
-        text = format_table(
-            ["Description", "Param.", "Value"], self.rows, title=self.name
-        )
+        text = format_table(list(self.headers), self.rows, title=self.name)
         if self.notes:
             text += f"\n({self.notes})"
         return text

@@ -47,6 +47,7 @@ from repro.fastsim.compare import (
     EngineAgreement,
     calibrate_churn_costs,
     calibrate_costs,
+    calibration_cache_stats,
     churn_config_for_availability,
     churn_costs_for,
     compare_engines,
@@ -99,6 +100,7 @@ __all__ = [
     "CALIBRATION_LIMIT",
     "calibrate_costs",
     "calibrate_churn_costs",
+    "calibration_cache_stats",
     "churn_config_for_availability",
     "churn_costs_for",
     "costs_for",

@@ -25,6 +25,7 @@ wrappers around the ``compare_engines*`` family.
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass, field, replace as dc_replace
 from functools import lru_cache
@@ -32,6 +33,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.costs import c_search_index
 from repro.analysis.parameters import ScenarioParameters
 from repro.analysis.zipf import ZipfDistribution
@@ -46,6 +48,7 @@ from repro.pdht.strategies import PartialSelectionStrategy
 __all__ = [
     "CALIBRATION_LIMIT",
     "calibrate_costs",
+    "calibration_cache_stats",
     "costs_for",
     "calibrate_churn_costs",
     "churn_costs_for",
@@ -63,6 +66,70 @@ __all__ = [
 #: beyond it, building the substrate costs more than it informs and the
 #: analytical Eq. 6-8/16 costs are used instead.
 CALIBRATION_LIMIT = 5_000
+
+
+#: The observable calibration caches, by short name (filled as each
+#: ``_counted_cache`` decorator runs; :func:`calibration_cache_stats`
+#: reads it back).
+_CALIBRATION_CACHES: dict[str, object] = {}
+
+
+def _counted_cache(name: str, maxsize: int):
+    """An ``lru_cache`` whose hits and misses feed ``obs`` counters.
+
+    Calibration is the scarce resource: every fresh process pays it again
+    because these caches are per-process. The wrapper emits
+    ``cache.{name}.hit`` / ``cache.{name}.miss`` counts (and a
+    ``cache.{name}.size`` high-water gauge) while telemetry is enabled,
+    keeps ``cache_info()`` / ``cache_clear()`` passthroughs, and registers
+    the cache for :func:`calibration_cache_stats`. The hit/miss
+    classification reads ``cache_info`` deltas, so concurrent callers may
+    miscount by a few under races — the stats are diagnostics, not
+    invariants.
+    """
+
+    def decorate(fn):
+        cached = lru_cache(maxsize=maxsize)(fn)
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not obs.enabled():
+                return cached(*args, **kwargs)
+            hits_before = cached.cache_info().hits
+            result = cached(*args, **kwargs)
+            info = cached.cache_info()
+            outcome = "hit" if info.hits > hits_before else "miss"
+            obs.count(f"cache.{name}.{outcome}")
+            obs.gauge_max(f"cache.{name}.size", float(info.currsize))
+            return result
+
+        wrapper.cache_info = cached.cache_info
+        wrapper.cache_clear = cached.cache_clear
+        wrapper.__wrapped__ = fn
+        _CALIBRATION_CACHES[name] = wrapper
+        return wrapper
+
+    return decorate
+
+
+def calibration_cache_stats() -> dict[str, dict[str, int]]:
+    """Hit/miss/size statistics of every calibration cache, by name.
+
+    Makes the per-process calibration cost visible: a profile showing
+    ``misses == calls`` in a worker means that worker rebuilt every
+    substrate from scratch (the caches do not survive process
+    boundaries).
+    """
+    stats = {}
+    for name, cache in sorted(_CALIBRATION_CACHES.items()):
+        info = cache.cache_info()
+        stats[name] = {
+            "hits": info.hits,
+            "misses": info.misses,
+            "size": info.currsize,
+            "maxsize": info.maxsize,
+        }
+    return stats
 
 
 def calibrate_costs(
@@ -87,6 +154,27 @@ def calibrate_costs(
     """
     if min(lookup_probes, flood_probes, walk_probes) < 1:
         raise ParameterError("probe counts must be >= 1")
+    with obs.span("calibrate.costs", peers=params.num_peers, seed=seed):
+        return _calibrate_costs_probe(
+            params,
+            config,
+            seed,
+            lookup_probes,
+            flood_probes,
+            walk_probes,
+            num_active_peers,
+        )
+
+
+def _calibrate_costs_probe(
+    params: ScenarioParameters,
+    config: Optional[PdhtConfig],
+    seed: int,
+    lookup_probes: int,
+    flood_probes: int,
+    walk_probes: int,
+    num_active_peers: Optional[int],
+) -> PerOpCosts:
     config = config or PdhtConfig.from_scenario(params)
     net = PdhtNetwork(
         params, config, seed=seed, num_active_peers=num_active_peers
@@ -161,7 +249,7 @@ def costs_for(
     )
 
 
-@lru_cache(maxsize=64)
+@_counted_cache("costs", maxsize=64)
 def _costs_for_cached(
     params: ScenarioParameters,
     config: PdhtConfig,
@@ -240,6 +328,27 @@ def calibrate_churn_costs(
     fractions (turnover misses, hit floods) and the hot-key lookup mix
     reflect the shifting workload the kernel will actually run.
     """
+    with obs.span(
+        "calibrate.churn",
+        peers=params.num_peers,
+        availability=getattr(churn, "availability", None),
+        seed=seed,
+    ):
+        return _calibrate_churn_costs_probe(
+            params, churn, config, seed, warmup, rounds, walk_probes, model
+        )
+
+
+def _calibrate_churn_costs_probe(
+    params: ScenarioParameters,
+    churn: ChurnConfig,
+    config: Optional[PdhtConfig],
+    seed: int,
+    warmup: float,
+    rounds: float,
+    walk_probes: int,
+    model: "WorkloadModel | None",
+) -> ChurnOpCosts:
     from repro.sim.metrics import MessageCategory
     from repro.workload.queries import ZipfQueryWorkload
 
@@ -478,7 +587,7 @@ def churn_costs_for(
     )
 
 
-@lru_cache(maxsize=32)
+@_counted_cache("churn_costs", maxsize=32)
 def _churn_costs_cached(
     params: ScenarioParameters,
     config: PdhtConfig,
@@ -489,7 +598,7 @@ def _churn_costs_cached(
     return calibrate_churn_costs(params, churn, config, seed=seed, model=model)
 
 
-@lru_cache(maxsize=64)
+@_counted_cache("lookup_probe", maxsize=64)
 def _churned_lookup_probe(
     params: ScenarioParameters,
     config: PdhtConfig,
@@ -511,6 +620,26 @@ def _churned_lookup_probe(
     (the responsible-peer hand-over) and detour others, with a net
     effect that genuinely depends on the trie size.
     """
+    with obs.span(
+        "calibrate.lookup_probe",
+        peers=params.num_peers,
+        members=num_active_peers,
+    ):
+        return _churned_lookup_probe_impl(
+            params, config, availability, num_active_peers, seed, probes,
+            mask_epochs,
+        )
+
+
+def _churned_lookup_probe_impl(
+    params: ScenarioParameters,
+    config: PdhtConfig,
+    availability: float,
+    num_active_peers: int,
+    seed: int,
+    probes: int,
+    mask_epochs: int,
+) -> float:
     from repro.errors import RoutingError
 
     net = PdhtNetwork(

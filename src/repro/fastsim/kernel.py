@@ -58,6 +58,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.costs import c_search_index, c_search_unstructured
 from repro.analysis.parameters import ScenarioParameters
 from repro.analysis.selection_model import SelectionModel
@@ -426,6 +427,14 @@ class FastSimKernel:
                 f"duration must be a whole number of rounds, got {duration}"
             )
         started = time.perf_counter()
+        # Telemetry is sampled into local floats and reported once after
+        # the loop: one boolean check per phase per round when disabled,
+        # no RNG interaction ever (seeded results stay bit-identical with
+        # telemetry on or off).
+        telemetry = obs.enabled()
+        perf = time.perf_counter
+        t_draw = t_maintain = t_queries = t_post = 0.0
+        draw_blocks = 0
         report = FastSimReport(
             strategy=self.strategy, params=self.params, duration=duration
         )
@@ -468,12 +477,19 @@ class FastSimKernel:
                 np.searchsorted(cumulative, drawn + DRAW_BLOCK, side="right")
             )
             block_hi = min(max(block_hi, block_lo + 1), rounds)
+            if telemetry:
+                t0 = perf()
             block_ranks, block_keys, offsets = self.workload.draw_rounds(
                 start + block_lo, counts[block_lo:block_hi]
             )
+            if telemetry:
+                t_draw += perf() - t0
+                draw_blocks += 1
             for i in range(block_lo, block_hi):
                 self.now += 1.0
                 now = self.now
+                if telemetry:
+                    t0 = perf()
                 if self.churn is not None:
                     report.churn_transitions += self.churn.step(
                         self.state.online
@@ -500,16 +516,24 @@ class FastSimKernel:
                             self.costs.maintenance_per_round
                         )
 
+                if telemetry:
+                    t1 = perf()
+                    t_maintain += t1 - t0
                 lo, hi = offsets[i - block_lo], offsets[i - block_lo + 1]
                 accepted, round_hits = self._step_queries(
                     now, block_ranks[lo:hi], block_keys[lo:hi], totals, report
                 )
+                if telemetry:
+                    t2 = perf()
+                    t_queries += t2 - t1
                 self._step_updates(totals)
 
                 recorder.record(accepted, round_hits)
                 recorder.maybe_close(now - start, size_thunk)
                 for hook in self.on_round:
                     hook(self, now)
+                if telemetry:
+                    t_post += perf() - t2
             block_lo = block_hi
 
         # Close the trailing partial window (duration % window != 0) so
@@ -531,6 +555,19 @@ class FastSimKernel:
             report.mean_index_size = float(report.final_index_size)
         report.key_ttl = self.key_ttl
         report.elapsed_seconds = time.perf_counter() - started
+        if telemetry:
+            # Phases carry slash-joined names so they nest under
+            # kernel.run in the profile tree (and under any enclosing
+            # span, e.g. sweep.grid, via the thread's span stack).
+            obs.add_duration("kernel.run", report.elapsed_seconds)
+            obs.add_duration("kernel.run/draw", t_draw, n=draw_blocks)
+            obs.add_duration("kernel.run/round.maintain", t_maintain, n=rounds)
+            obs.add_duration("kernel.run/round.queries", t_queries, n=rounds)
+            obs.add_duration("kernel.run/round.post", t_post, n=rounds)
+            obs.count("kernel.runs")
+            obs.count("kernel.rounds", rounds)
+            obs.count("kernel.queries", report.queries)
+            obs.sample_peak_rss("kernel")
         return report
 
     # ------------------------------------------------------------------

@@ -29,8 +29,9 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
+from repro import obs
 from repro.analysis.parameters import ScenarioParameters
 from repro.errors import ParameterError
 from repro.fastsim.churncosts import ChurnOpCosts
@@ -135,6 +136,30 @@ def _run_job(job: FastSimJob) -> FastSimReport:
     return job.run()
 
 
+def _run_job_telemetry(
+    payload: tuple[FastSimJob, bool],
+) -> tuple[FastSimReport, Optional[dict[str, Any]]]:
+    """Worker entry point that ships the job's telemetry back with it.
+
+    The enabled flag travels with the payload because pool workers are
+    fresh processes (spawn) that do not inherit the parent's module
+    state. Each job records into its own scoped collector — pool workers
+    are *reused* across jobs, so recording into the worker's global
+    collector would leak one job's spans into the next job's snapshot
+    and double-count on merge.
+    """
+    job, telemetry = payload
+    if not telemetry:
+        return job.run(), None
+    obs.enable()
+    obs.reset_span_stack()
+    with obs.scoped(merge_into_parent=False) as local:
+        report = job.run()
+        obs.sample_peak_rss("worker")
+        snapshot = local.snapshot()
+    return report, snapshot
+
+
 def run_many(
     jobs: Sequence[FastSimJob], workers: int = 1
 ) -> list[FastSimReport]:
@@ -146,10 +171,38 @@ def run_many(
     Costs are resolved in the parent first (:func:`resolve_jobs`) either
     way, so sequential and parallel execution charge identical costs and
     produce identical seeded reports.
+
+    When telemetry is enabled (:func:`repro.obs.enable`), every pool
+    worker's collector snapshot rides back with its report and is merged
+    into the parent's collector — one profile for the whole fan-out,
+    including per-worker peak-RSS gauges. Merging is duplicate-safe, so
+    the fold is insensitive to delivery order.
     """
     workers = resolve_worker_count(workers)
     resolved = resolve_jobs(jobs)
+    telemetry = obs.enabled()
     if workers == 1 or len(resolved) <= 1:
-        return [job.run() for job in resolved]
-    with ProcessPoolExecutor(max_workers=min(workers, len(resolved))) as pool:
-        return list(pool.map(_run_job, resolved))
+        with obs.span("parallel.run_many", jobs=len(resolved), workers=1):
+            reports = [job.run() for job in resolved]
+        if telemetry:
+            obs.sample_peak_rss("worker")
+        return reports
+    with obs.span(
+        "parallel.run_many",
+        jobs=len(resolved),
+        workers=min(workers, len(resolved)),
+    ):
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(resolved))
+        ) as pool:
+            outcomes = list(
+                pool.map(
+                    _run_job_telemetry,
+                    [(job, telemetry) for job in resolved],
+                )
+            )
+        # Merge inside the span so worker spans re-root under it: the
+        # pooled profile nests exactly like the sequential one.
+        for _, snapshot in outcomes:
+            obs.merge_snapshot(snapshot)
+    return [report for report, _ in outcomes]

@@ -1,0 +1,65 @@
+"""Zero-dependency observability: spans, counters, and merged profiles.
+
+``repro.obs`` is the standing instrumentation layer both engines report
+into. It is **off by default** — enable it per process
+(:func:`enable` / ``REPRO_OBS=1``) and every instrumented hot path
+(calibration probes, kernel round phases, event-engine dispatch, sweep
+cells) starts accumulating into one process-global :class:`Collector`::
+
+    from repro import obs
+
+    obs.enable()
+    with obs.span("calibrate.churn", peers=5000):
+        ...
+    obs.count("cache.churn_costs.hit")
+    print(obs.profile_text(obs.collector()))
+
+Worker processes (``fastsim.parallel.run_many``, experiment replicates)
+ship their collector's :meth:`Collector.snapshot` back with each result;
+the parent merges them (order-independent, duplicate-safe) so a parallel
+sweep reports a single profile. ``ExperimentResult.telemetry`` and the
+runner's ``--profile`` flag surface the same data; ``benchmarks/record.py``
+persists the trajectory.
+"""
+
+from repro.obs.collector import (
+    Collector,
+    SNAPSHOT_SCHEMA,
+    add_duration,
+    collector,
+    count,
+    disable,
+    enable,
+    enabled,
+    gauge_max,
+    merge_snapshot,
+    peak_rss_bytes,
+    reset_span_stack,
+    sample_peak_rss,
+    scoped,
+    set_collector,
+    span,
+)
+from repro.obs.profile import profile_data, profile_json, profile_text
+
+__all__ = [
+    "Collector",
+    "SNAPSHOT_SCHEMA",
+    "enabled",
+    "enable",
+    "disable",
+    "collector",
+    "set_collector",
+    "scoped",
+    "span",
+    "count",
+    "gauge_max",
+    "add_duration",
+    "merge_snapshot",
+    "peak_rss_bytes",
+    "reset_span_stack",
+    "sample_peak_rss",
+    "profile_data",
+    "profile_text",
+    "profile_json",
+]

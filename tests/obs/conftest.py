@@ -1,0 +1,28 @@
+"""Fixtures for the telemetry tests: every test gets pristine obs state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Fresh disabled collector per test; prior state restored after.
+
+    Telemetry state is process-global (that is the point of the module),
+    so tests must not leak an enabled flag or recorded data into the rest
+    of the suite.
+    """
+    was_enabled = obs.enabled()
+    previous = obs.set_collector(obs.Collector())
+    obs.disable()
+    obs.reset_span_stack()
+    yield
+    obs.reset_span_stack()
+    obs.set_collector(previous)
+    if was_enabled:
+        obs.enable()
+    else:
+        obs.disable()

@@ -1,0 +1,149 @@
+"""Benchmark history records and the static trend dashboard.
+
+``benchmarks/`` is not a package the library imports; these tests load it
+off the repo root (pytest runs from there) and double as the PR-time
+smoke test that the *committed* ``BENCH_history.jsonl`` still renders.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.dashboard import build_dashboard
+from benchmarks.dashboard import main as dashboard_main
+from benchmarks.record import (
+    HISTORY_PATH,
+    RECORD_SCHEMA,
+    append_record,
+    build_record,
+    load_history,
+)
+
+
+@pytest.fixture
+def payload():
+    """A synthetic bench_fastsim payload with every record family."""
+    return {
+        "benchmark": "fastsim_speedup",
+        "records": [
+            {
+                "num_peers": 10_000,
+                "speedup": 55.0,
+                "hit_rate_rel_diff": 0.012,
+                "cost_rel_diff": 0.030,
+                "peak_rss_bytes": 220 * 2**20,
+            },
+            {
+                "num_peers": 100_000,
+                "vectorized_seconds": 0.8,
+                "simulated_queries_per_second": 1.2e6,
+                "peak_rss_bytes": 400 * 2**20,
+            },
+        ],
+        "gate_records": [
+            {
+                "scenario": "churn",
+                "availability": 0.9,
+                "hit_rate_rel_diff": 0.02,
+            },
+            {
+                "scenario": "churn",
+                "availability": 0.5,
+                "hit_rate_rel_diff": 0.03,
+            },
+            {"scenario": "staleness", "staleness_rel_diff": 0.015},
+        ],
+        "workloads_record": {"slowdown": 1.05},
+        "jobs_record": {"speedup": 2.8, "workers": 4, "cpu_count": 8},
+        "obs_record": {
+            "overhead": 1.004,
+            "bit_identical": True,
+            "peak_rss_bytes": 430 * 2**20,
+        },
+        "telemetry_record": {"calibration_seconds": 3.2},
+    }
+
+
+class TestBuildRecord:
+    def test_headline_fields_extracted(self, payload):
+        record = build_record(
+            payload, sha="abc1234", recorded_at="2026-08-07T10:00:00+00:00"
+        )
+        assert record["schema"] == RECORD_SCHEMA
+        assert record["sha"] == "abc1234"
+        assert record["speedup_10k"] == 55.0
+        assert record["hit_rate_rel_diff_10k"] == 0.012
+        assert record["vectorized_seconds_100k"] == 0.8
+        assert record["queries_per_second_100k"] == 1.2e6
+        assert record["churn_hit_rate_rel_diffs"] == {
+            "0.9": 0.02,
+            "0.5": 0.03,
+        }
+        assert record["staleness_rel_diff"] == 0.015
+        assert record["workloads_slowdown"] == 1.05
+        assert record["jobs_speedup"] == 2.8
+        assert record["obs_overhead"] == 1.004
+        assert record["obs_bit_identical"] is True
+        assert record["calibration_seconds"] == 3.2
+        # peak RSS is the max over every sub-record
+        assert record["peak_rss_bytes"] == 430 * 2**20
+
+    def test_tolerates_old_payloads(self):
+        record = build_record(
+            {"records": []}, sha="abc1234", recorded_at="2026-08-07"
+        )
+        assert record["schema"] == RECORD_SCHEMA
+        assert "speedup_10k" not in record
+        assert "obs_overhead" not in record
+
+    def test_record_is_one_json_line(self, payload, tmp_path):
+        record = build_record(payload, sha="abc1234")
+        history = tmp_path / "history.jsonl"
+        append_record(record, path=history)
+        append_record(record, path=history)
+        lines = history.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0]) == json.loads(lines[1]) == record
+        assert load_history(history) == [record, record]
+
+    def test_load_history_missing_file_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "nope.jsonl") == []
+
+
+class TestDashboard:
+    def test_renders_svg_charts_and_table(self, payload, tmp_path):
+        records = [
+            build_record(
+                payload,
+                sha=f"sha000{i}",
+                recorded_at=f"2026-08-0{i}T10:00:00+00:00",
+            )
+            for i in (1, 2, 3)
+        ]
+        page = build_dashboard(records)
+        assert page.count("<svg") == 8
+        assert "3 committed records" in page
+        assert "<table>" in page
+        assert "sha0003" in page
+        # gate thresholds are drawn
+        assert 'class="gate"' in page
+
+    def test_single_record_renders(self, payload):
+        record = build_record(payload, sha="abc1234")
+        assert "<svg" in build_dashboard([record])
+
+    def test_committed_history_renders(self, tmp_path):
+        """PR-time smoke: the repo's own history must keep rendering."""
+        committed = load_history()
+        assert len(committed) >= 2, (
+            f"{HISTORY_PATH} needs >= 2 records for a trend line"
+        )
+        for record in committed:
+            assert record["schema"] == RECORD_SCHEMA
+        output = tmp_path / "dashboard.html"
+        assert dashboard_main(["--output", str(output)]) == 0
+        page = output.read_text()
+        assert page.count("<svg") == 8
+        assert "BENCH_history" in page

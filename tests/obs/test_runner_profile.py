@@ -1,0 +1,53 @@
+"""End-to-end --profile round trip through the experiment runner."""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.experiments.export import load_result_json
+from repro.experiments.runner import main
+
+
+class TestProfileFlag:
+    def test_profile_json_roundtrip(self, capsys):
+        # table1 is analytical: fast, and proves --profile works even
+        # without a simulation engine in the loop.
+        assert main(["table1", "--format", "json", "--profile"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        telemetry = payload["telemetry"]
+        assert telemetry["schema"] == obs.SNAPSHOT_SCHEMA
+        assert "experiment.run" in telemetry["spans"]
+        assert telemetry["spans"]["experiment.run"]["attrs"] == {
+            "experiment": "table1",
+            "engine": "none",
+        }
+        # the profile tree goes to stderr so stdout stays parseable
+        assert "profile: table1" in captured.err
+        assert "experiment.run" in captured.err
+        # the exported result round-trips with its telemetry intact
+        result = load_result_json(captured.out)
+        assert result.telemetry == telemetry
+        assert obs.profile_text(result.telemetry).startswith(
+            "telemetry profile"
+        )
+
+    def test_profile_flag_does_not_leak_enabled_state(self, capsys):
+        assert not obs.enabled()
+        assert main(["table1", "--profile"]) == 0
+        assert not obs.enabled()
+
+    def test_without_profile_no_telemetry_block(self, capsys):
+        assert main(["table1", "--format", "json"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload.get("telemetry") is None
+        assert "profile:" not in captured.err
+
+    def test_profile_respects_already_enabled_session(self, capsys):
+        # A session that enabled telemetry itself keeps it on after a
+        # --profile run (the runner only restores what it changed).
+        obs.enable()
+        assert main(["table1", "--profile"]) == 0
+        assert obs.enabled()

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.workload",
     "repro.pdht",
     "repro.fastsim",
+    "repro.obs",
     "repro.experiments",
     "repro.experiments.api",
     "repro.experiments.sweeps",
