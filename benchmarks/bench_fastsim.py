@@ -251,6 +251,91 @@ def _jobs_record() -> dict[str, object]:
     }
 
 
+def _store_record() -> dict[str, object]:
+    """Artifact store: cold vs resumed sweep, warm-start calibration.
+
+    Runs a 6-cell grid at the 100k-peer scenario twice against a
+    throwaway store: the first pass computes and saves every cell, the
+    second must load all of them (``store_hit_rate`` 1.0) and finish in
+    a fraction of the cold wall-clock (``resume_seconds``). Separately,
+    a calibrated 400-peer scenario probes once through the store, the
+    in-process L1 is cleared (what a fresh worker process sees), and the
+    re-resolution is measured — a store hit never enters a
+    ``calibrate.*`` span, so the warm calibration time must be zero.
+    """
+    import tempfile
+
+    from repro.experiments.scenario import fastsim_scenario
+    from repro.experiments.sweeps import GridAxes, sweep_grid
+    from repro.fastsim.compare import _costs_for_cached, costs_for
+    from repro.store import Store, using_store
+
+    scenario = fastsim_scenario(scale=5.0)
+    axes = GridAxes(
+        ttl_factors=(0.5, 1.0, 2.0),
+        alphas=(0.8, 1.2),
+        query_freqs=(1 / 30,),
+        availabilities=(1.0,),
+    )
+    duration = 480.0
+    with tempfile.TemporaryDirectory() as tmp:
+        with Store(Path(tmp) / "bench.sqlite") as store:
+            with using_store(store):
+                started = time.perf_counter()
+                cold = sweep_grid(axes, scenario=scenario, duration=duration)
+                cold_seconds = time.perf_counter() - started
+                before = dict(store.stats.get("sweep_cell", {}))
+                started = time.perf_counter()
+                warm = sweep_grid(axes, scenario=scenario, duration=duration)
+                resume_seconds = time.perf_counter() - started
+                after = store.stats.get("sweep_cell", {})
+                hits = after.get("hits", 0) - before.get("hits", 0)
+                misses = after.get("misses", 0) - before.get("misses", 0)
+
+                # Warm-start calibration: probe once (saved to disk), drop
+                # the L1 as a fresh process would, re-resolve from the
+                # store under a private collector.
+                params = _scenario(400)
+                config = PdhtConfig.from_scenario(params)
+                _costs_for_cached.cache_clear()
+                started = time.perf_counter()
+                cold_costs = costs_for(params, config, params.num_peers)
+                cold_calibration_seconds = time.perf_counter() - started
+                _costs_for_cached.cache_clear()
+                collector = obs.Collector()
+                previous = obs.set_collector(collector)
+                was_enabled = obs.enabled()
+                obs.enable()
+                try:
+                    warm_costs = costs_for(params, config, params.num_peers)
+                finally:
+                    if not was_enabled:
+                        obs.disable()
+                    obs.set_collector(previous)
+                warm_calibration_seconds = sum(
+                    data["seconds"]
+                    for path, data in collector.snapshot()["spans"].items()
+                    if path.startswith("calibrate.")
+                )
+    return {
+        "scenario": "store",
+        "num_peers": scenario.num_peers,
+        "cells": axes.size,
+        "duration_rounds": duration,
+        "cold_seconds": cold_seconds,
+        "resume_seconds": resume_seconds,
+        "store_hit_rate": (
+            hits / (hits + misses) if hits + misses else 0.0
+        ),
+        "cells_identical": warm.series == cold.series
+        and warm.x_values == cold.x_values,
+        "cold_calibration_seconds": cold_calibration_seconds,
+        "warm_calibration_seconds": warm_calibration_seconds,
+        "calibration_identical": warm_costs == cold_costs,
+        "peak_rss_bytes": obs.peak_rss_bytes(),
+    }
+
+
 def _staleness_record() -> dict[str, object]:
     params = _scenario(400)
     agreement = compare_engines_staleness(
@@ -382,6 +467,26 @@ def enforce(payload: dict[str, object]) -> list[str]:
             f"{JOBS_SPEEDUP_FLOOR}x on a {cpus}-CPU runner: "
             f"{jobs['speedup']:.2f}x"
         )
+    stored = payload["store_record"]
+    if not stored["cells_identical"]:
+        violations.append(
+            "resumed sweep loaded different cell values than the cold run"
+        )
+    if not stored["calibration_identical"]:
+        violations.append(
+            "store-loaded calibration diverged from the probed one"
+        )
+    if stored["store_hit_rate"] < 1.0:
+        violations.append(
+            f"resumed sweep recomputed cells: store hit rate "
+            f"{stored['store_hit_rate']:.2f} (expected 1.0)"
+        )
+    if stored["warm_calibration_seconds"] > 0.0:
+        violations.append(
+            f"warm-start calibration spent "
+            f"{stored['warm_calibration_seconds']:.3f}s inside "
+            "calibrate.* spans (a store hit must never probe)"
+        )
     observed = payload["obs_record"]
     if not observed["bit_identical"]:
         violations.append(
@@ -438,6 +543,7 @@ def run_benchmark() -> dict[str, object]:
         ]
         workloads_record = _workloads_record()
         jobs_record = _jobs_record()
+        store_record = _store_record()
     finally:
         if not was_enabled:
             obs.disable()
@@ -460,6 +566,7 @@ def run_benchmark() -> dict[str, object]:
         "gate_records": gate_records,
         "workloads_record": workloads_record,
         "jobs_record": jobs_record,
+        "store_record": store_record,
         "obs_record": obs_record,
         "telemetry_record": telemetry_record,
     }
@@ -501,6 +608,14 @@ if __name__ == "__main__":
         f"jobs={jobs['workers']} vs 1: {jobs['speedup']:.2f}x "
         f"({jobs['sequential_seconds']:.1f}s -> "
         f"{jobs['parallel_seconds']:.1f}s, {jobs['cpu_count']} CPUs)"
+    )
+    stored = payload["store_record"]
+    print(
+        f"store: {stored['cells']}-cell sweep resumed in "
+        f"{stored['resume_seconds']:.2f}s vs {stored['cold_seconds']:.2f}s "
+        f"cold (hit rate {stored['store_hit_rate']:.2f}), warm calibration "
+        f"{stored['warm_calibration_seconds']:.3f}s vs "
+        f"{stored['cold_calibration_seconds']:.3f}s"
     )
     observed = payload["obs_record"]
     print(

@@ -142,6 +142,20 @@ _CHARTS = [
         (1.02, "gate: <= 1.02x"),
     ),
     (
+        "store",
+        "Artifact store: resumed sweep",
+        "s",
+        [("resume wall-clock", lambda r: _get(r, "resume_seconds"))],
+        None,
+    ),
+    (
+        "store_hits",
+        "Artifact store: resume hit rate",
+        "x",
+        [("hit rate", lambda r: _get(r, "store_hit_rate"))],
+        (1.0, "gate: = 1.0"),
+    ),
+    (
         "rss",
         "Peak RSS",
         "MiB",

@@ -26,6 +26,8 @@ builder is tolerant of older payloads that predate a given record)::
     jobs_workers, jobs_cpus   pool size and runner CPU count
     obs_overhead              telemetry-enabled / disabled wall-clock
     obs_bit_identical         seeded parity with telemetry on
+    store_hit_rate            resumed-sweep artifact-store hit rate
+    resume_seconds            resumed-sweep wall-clock (vs cold)
     calibration_seconds       total time inside calibrate.* spans
     peak_rss_bytes            process peak RSS at the end of the run
 
@@ -161,6 +163,12 @@ def build_record(
     if observed.get("overhead") is not None:
         record["obs_overhead"] = observed["overhead"]
         record["obs_bit_identical"] = observed.get("bit_identical")
+
+    stored = payload.get("store_record") or {}
+    if stored.get("store_hit_rate") is not None:
+        record["store_hit_rate"] = stored["store_hit_rate"]
+    if stored.get("resume_seconds") is not None:
+        record["resume_seconds"] = stored["resume_seconds"]
 
     telemetry = payload.get("telemetry_record") or {}
     if telemetry.get("calibration_seconds") is not None:

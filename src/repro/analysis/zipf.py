@@ -18,16 +18,15 @@ plugs it into the exponent unchanged, and so do we.
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 import numpy as np
 
 from repro.errors import ParameterError
+from repro.obs import counted_cache
 
 __all__ = ["ZipfDistribution", "truncated_zeta"]
 
 
-@lru_cache(maxsize=128)
+@counted_cache("zipf_weights", maxsize=128)
 def _rank_weights(n_keys: int, alpha: float) -> np.ndarray:
     """Unnormalised Zipf weights ``rank^-alpha`` for ranks 1..n_keys."""
     ranks = np.arange(1, n_keys + 1, dtype=np.float64)
@@ -158,3 +157,9 @@ class ZipfDistribution:
 
     def __hash__(self) -> int:
         return hash((self.n_keys, self.alpha))
+
+    def __store_key__(self) -> dict[str, float]:
+        """Canonical identity for artifact-store keys: the distribution
+        is fully determined by ``(n_keys, alpha)``; the precomputed
+        probability arrays carry no extra information."""
+        return {"n_keys": self.n_keys, "alpha": self.alpha}

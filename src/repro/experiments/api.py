@@ -100,6 +100,11 @@ class ExperimentParams:
     #: (replicate seeds, sweep cells, per-strategy kernel runs):
     #: 1 = sequential (default), 0 = one worker per CPU, N = pool of N.
     jobs: Optional[int] = None
+    #: Artifact-store selection for this run (``repro.store``): a path
+    #: opens/creates that SQLite store; the sentinel ``"none"`` disables
+    #: all store traffic (masking ``REPRO_STORE``); ``None`` (default)
+    #: keeps the process-wide active store, if any.
+    store: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.duration is not None and self.duration <= 0:
@@ -130,6 +135,12 @@ class ExperimentParams:
             from repro.workloads import validate_workload_name
 
             validate_workload_name(self.workload)
+        if self.store is not None and (
+            not isinstance(self.store, str) or not self.store.strip()
+        ):
+            raise ParameterError(
+                f"store must be a path or 'none', got {self.store!r}"
+            )
 
     def to_dict(self) -> dict[str, object]:
         """Only the fields that are set (for provenance records)."""
@@ -469,22 +480,23 @@ def run(name: str, **overrides: object) -> ExperimentResult:
     )
     started = time.perf_counter()
     telemetry: Optional[dict[str, object]] = None
-    if obs.enabled():
-        # Carve this run's telemetry into its own collector so the
-        # result's block describes exactly this experiment; the scoped
-        # exit folds it back into the session collector, so nothing is
-        # lost for whole-session profiles.
-        with obs.scoped() as local:
-            with obs.span(
-                "experiment.run",
-                experiment=spec.name,
-                engine=engine or "none",
-            ):
-                figure, replication = _execute(spec, ctx, merged)
-            obs.sample_peak_rss()
-        telemetry = local.snapshot()
-    else:
-        figure, replication = _execute(spec, ctx, merged)
+    with _store_scope(merged.store):
+        if obs.enabled():
+            # Carve this run's telemetry into its own collector so the
+            # result's block describes exactly this experiment; the scoped
+            # exit folds it back into the session collector, so nothing is
+            # lost for whole-session profiles.
+            with obs.scoped() as local:
+                with obs.span(
+                    "experiment.run",
+                    experiment=spec.name,
+                    engine=engine or "none",
+                ):
+                    figure, replication = _execute(spec, ctx, merged)
+                obs.sample_peak_rss()
+            telemetry = local.snapshot()
+        else:
+            figure, replication = _execute(spec, ctx, merged)
     wall_clock = time.perf_counter() - started
 
     import repro  # late: repro/__init__ imports this module at its end
@@ -509,6 +521,26 @@ def run(name: str, **overrides: object) -> ExperimentResult:
     )
 
 
+def _store_scope(setting: Optional[str]):
+    """The artifact-store context for one run's ``store`` parameter.
+
+    ``None`` leaves the process-wide active store (``REPRO_STORE`` or a
+    programmatic :func:`repro.store.set_active_store`) in effect;
+    ``"none"`` is the explicit escape hatch disabling all store traffic
+    for the run; any other value opens (creating/migrating as needed)
+    the SQLite store at that path for the run's duration.
+    """
+    import contextlib
+
+    if setting is None:
+        return contextlib.nullcontext()
+    from repro.store import Store, using_store
+
+    if setting == "none":
+        return using_store(None)
+    return using_store(Store(setting))
+
+
 def _execute(
     spec: ExperimentSpec, ctx: "ExperimentContext", merged: ExperimentParams
 ) -> tuple[FigureSeries, Optional[dict[str, object]]]:
@@ -529,31 +561,84 @@ def _execute(
             )
             for run_seed in seeds
         ]
+        # Replicate seeds already in the artifact store load instead of
+        # recompute; only the missing seeds run (resumable replication).
+        from repro.store.store import active_store
+
+        store = active_store()
+        figures_by_seed: list[Optional[FigureSeries]] = [None] * len(contexts)
+        if store is not None:
+            import json
+
+            from repro.experiments.export import load_figure_json
+
+            for index, context in enumerate(contexts):
+                payload = store.load_replicate(_replicate_inputs(context))
+                if payload is not None:
+                    figures_by_seed[index] = load_figure_json(
+                        json.dumps(payload)
+                    )
+        pending = [i for i, fig in enumerate(figures_by_seed) if fig is None]
         workers = _resolve_worker_count(ctx.jobs)
-        if workers > 1 and len(contexts) > 1:
+        if workers > 1 and len(pending) > 1:
             from concurrent.futures import ProcessPoolExecutor
 
             collect = obs.enabled()
             with ProcessPoolExecutor(
-                max_workers=min(workers, len(contexts))
+                max_workers=min(workers, len(pending))
             ) as pool:
                 outcomes = list(
                     pool.map(
                         _build_in_context_telemetry,
-                        [(c, collect) for c in contexts],
+                        [(contexts[i], collect) for i in pending],
                     )
                 )
-            figures_by_seed = [fig for fig, _ in outcomes]
+            for index, (fig, _) in zip(pending, outcomes):
+                figures_by_seed[index] = fig
             # Re-rooted under the caller's current span path
             # (experiment.run), matching the sequential loop's nesting.
             for _, snapshot in outcomes:
                 obs.merge_snapshot(snapshot)
         else:
-            figures_by_seed = [_build_in_context(c) for c in contexts]
+            for index in pending:
+                figures_by_seed[index] = _build_in_context(contexts[index])
+        if store is not None and pending:
+            import json
+
+            from repro.experiments.export import figure_to_json
+
+            for index in pending:
+                store.save_replicate(
+                    _replicate_inputs(contexts[index]),
+                    json.loads(figure_to_json(figures_by_seed[index])),
+                )
         figure, replication = _aggregate_replicates(figures_by_seed, seeds)
     else:
         figure = spec.builder(ctx)
     return figure, replication
+
+
+def _replicate_inputs(ctx: "ExperimentContext") -> dict[str, object]:
+    """Content-key inputs of one replicate seed's figure payload.
+
+    ``jobs`` and ``store`` are execution detail, and ``replicates`` is
+    sibling count — none of them can change this seed's figure, so they
+    stay out of the key and a ``replicates=5`` rerun reuses the three
+    payloads a ``replicates=3`` run stored. Everything that *can* change
+    the figure — experiment, engine, scenario, the per-seed parameter
+    set — goes in; the envelope adds ``repro.__version__`` and the
+    ``replicate`` schema rev on top.
+    """
+    params = ctx.params.to_dict()
+    params.pop("jobs", None)
+    params.pop("store", None)
+    params.pop("replicates", None)
+    return {
+        "experiment": ctx.spec.name,
+        "engine": ctx.engine,
+        "scenario": ctx.scenario,
+        "params": params,
+    }
 
 
 def _resolve_worker_count(jobs: int) -> int:
@@ -716,7 +801,8 @@ def _optimal(ctx: ExperimentContext) -> FigureSeries:
     "Sec. 5.2 - simulated strategies vs the analytical model",
     SIMULATED,
     engines=("event", "vectorized"),
-    accepts={"engine", "duration", "seed", "scale", "replicates", "jobs"},
+    accepts={"engine", "duration", "seed", "scale", "replicates", "jobs",
+             "store"},
     duration=300.0,
     seed=0,
     scale=SIMULATION_SCALE,
@@ -739,7 +825,7 @@ def _sim(ctx: ExperimentContext) -> FigureSeries:
     SIMULATED,
     engines=("event", "vectorized"),
     accepts={"engine", "duration", "seed", "scale", "shift_at",
-             "window", "replicates", "jobs"},
+             "window", "replicates", "jobs", "store"},
     duration=1200.0,
     seed=0,
     scale=SIMULATION_SCALE,
@@ -761,7 +847,7 @@ def _adaptivity(ctx: ExperimentContext) -> FigureSeries:
     SIMULATED,
     engines=("vectorized", "event"),
     accepts={"engine", "duration", "seed", "scale", "shift_at", "window",
-             "workload", "replicates", "jobs"},
+             "workload", "replicates", "jobs", "store"},
     duration=1200.0,
     seed=0,
     scale=SIMULATION_SCALE,
@@ -785,7 +871,7 @@ def _adaptivity_tracking(ctx: ExperimentContext) -> FigureSeries:
     SIMULATED,
     engines=("vectorized", "event"),
     accepts={"engine", "duration", "seed", "scale", "shift_at", "window",
-             "workload", "jobs"},
+             "workload", "jobs", "store"},
     duration=1200.0,
     seed=0,
     scale=SIMULATION_SCALE,
@@ -808,7 +894,8 @@ def _adaptivity_lag(ctx: ExperimentContext) -> FigureSeries:
     "Extension - selection algorithm under churn",
     SIMULATED,
     engines=("event", "vectorized"),
-    accepts={"engine", "duration", "seed", "scale", "replicates", "jobs"},
+    accepts={"engine", "duration", "seed", "scale", "replicates", "jobs",
+             "store"},
     duration=240.0,
     seed=0,
     scale=SIMULATION_SCALE,
@@ -828,7 +915,8 @@ def _churn(ctx: ExperimentContext) -> FigureSeries:
     "Extension - index staleness without proactive updates",
     SIMULATED,
     engines=("event", "vectorized"),
-    accepts={"engine", "duration", "seed", "scale", "replicates", "jobs"},
+    accepts={"engine", "duration", "seed", "scale", "replicates", "jobs",
+             "store"},
     duration=300.0,
     seed=0,
     scale=0.02,
@@ -848,7 +936,8 @@ def _staleness(ctx: ExperimentContext) -> FigureSeries:
     "Fig. 1 regenerated in simulation",
     SIMULATED,
     engines=("event", "vectorized"),
-    accepts={"engine", "duration", "seed", "scale", "replicates", "jobs"},
+    accepts={"engine", "duration", "seed", "scale", "replicates", "jobs",
+             "store"},
     duration=120.0,
     seed=0,
     scale=0.02,

@@ -23,6 +23,13 @@ machine-readable series (JSON results carry full provenance, including
 per-seed values for replicated runs), and ``--output DIR`` writes one
 file per experiment instead of printing.
 
+``--store PATH`` runs against the SQLite artifact store at PATH
+(:mod:`repro.store`): calibrations, sweep cells and replicate payloads
+already on disk load instead of recompute, so interrupted sweeps resume
+and repeated runs skip the expensive probes. ``REPRO_STORE`` sets the
+same default process-wide; ``--no-store`` disables store traffic even
+when the variable is set.
+
 ``--profile`` enables telemetry collection (:mod:`repro.obs`) for the
 run: every result carries its merged span/counter/gauge snapshot in the
 ``telemetry`` provenance block (exported with ``--format json``), and a
@@ -157,6 +164,21 @@ def main(argv: list[str] | None = None) -> int:
         "(stationary, rank-swap, gradual-drift, flash-crowd, diurnal, "
         "or trace:<path> to replay a recorded query trace)",
     )
+    store_group = parser.add_mutually_exclusive_group()
+    store_group.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="SQLite artifact store for calibrations, sweep cells and "
+        "replicate payloads (resumable runs); defaults to the "
+        "REPRO_STORE environment variable, if set",
+    )
+    store_group.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable all artifact-store traffic for this run, even if "
+        "REPRO_STORE is set",
+    )
     parser.add_argument(
         "--profile",
         action="store_true",
@@ -206,6 +228,8 @@ def main(argv: list[str] | None = None) -> int:
         "replicates": args.replicates,
         "jobs": args.jobs,
         "workload": args.workload,
+        # "none" is ExperimentParams' explicit store-off sentinel.
+        "store": "none" if args.no_store else args.store,
     }
     # --profile turns collection on for the run and restores the prior
     # state afterwards (the flag must not leak into in-process callers,

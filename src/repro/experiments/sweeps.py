@@ -387,7 +387,7 @@ def _default_grid(ctx: ExperimentContext) -> FigureSeries:
         "only the vectorized batch kernel is tractable there"
     ),
     accepts={"engine", "duration", "seed", "scale", "workload",
-             "replicates", "jobs"},
+             "replicates", "jobs", "store"},
     duration=240.0,
     seed=0,
     scale=1.0,
@@ -406,7 +406,7 @@ def _sweep(ctx: ExperimentContext) -> FigureSeries:
         "batch kernel is tractable there"
     ),
     accepts={"engine", "duration", "seed", "scale", "workload",
-             "replicates", "jobs"},
+             "replicates", "jobs", "store"},
     duration=240.0,
     seed=0,
     scale=1.0,

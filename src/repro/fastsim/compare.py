@@ -25,10 +25,8 @@ wrappers around the ``compare_engines*`` family.
 
 from __future__ import annotations
 
-import functools
 import time
 from dataclasses import dataclass, field, replace as dc_replace
-from functools import lru_cache
 from typing import Optional, Sequence
 
 import numpy as np
@@ -75,41 +73,16 @@ _CALIBRATION_CACHES: dict[str, object] = {}
 
 
 def _counted_cache(name: str, maxsize: int):
-    """An ``lru_cache`` whose hits and misses feed ``obs`` counters.
+    """A counted ``lru_cache`` registered as a *calibration* cache.
 
-    Calibration is the scarce resource: every fresh process pays it again
-    because these caches are per-process. The wrapper emits
-    ``cache.{name}.hit`` / ``cache.{name}.miss`` counts (and a
-    ``cache.{name}.size`` high-water gauge) while telemetry is enabled,
-    keeps ``cache_info()`` / ``cache_clear()`` passthroughs, and registers
-    the cache for :func:`calibration_cache_stats`. The hit/miss
-    classification reads ``cache_info`` deltas, so concurrent callers may
-    miscount by a few under races — the stats are diagnostics, not
-    invariants.
+    Calibration is the scarce resource: every fresh process pays it
+    again because these caches are per-process — unless an artifact
+    store is active, in which case they are an L1 over the disk tier
+    (see :func:`_active_store`). The counting machinery itself lives in
+    :func:`repro.obs.counted_cache`; this shim only adds registration
+    in :data:`_CALIBRATION_CACHES` for :func:`calibration_cache_stats`.
     """
-
-    def decorate(fn):
-        cached = lru_cache(maxsize=maxsize)(fn)
-
-        @functools.wraps(fn)
-        def wrapper(*args, **kwargs):
-            if not obs.enabled():
-                return cached(*args, **kwargs)
-            hits_before = cached.cache_info().hits
-            result = cached(*args, **kwargs)
-            info = cached.cache_info()
-            outcome = "hit" if info.hits > hits_before else "miss"
-            obs.count(f"cache.{name}.{outcome}")
-            obs.gauge_max(f"cache.{name}.size", float(info.currsize))
-            return result
-
-        wrapper.cache_info = cached.cache_info
-        wrapper.cache_clear = cached.cache_clear
-        wrapper.__wrapped__ = fn
-        _CALIBRATION_CACHES[name] = wrapper
-        return wrapper
-
-    return decorate
+    return obs.counted_cache(name, maxsize, registry=_CALIBRATION_CACHES)
 
 
 def calibration_cache_stats() -> dict[str, dict[str, int]]:
@@ -117,19 +90,22 @@ def calibration_cache_stats() -> dict[str, dict[str, int]]:
 
     Makes the per-process calibration cost visible: a profile showing
     ``misses == calls`` in a worker means that worker rebuilt every
-    substrate from scratch (the caches do not survive process
-    boundaries).
+    substrate from scratch (the in-memory caches do not survive process
+    boundaries; the artifact store does).
     """
-    stats = {}
-    for name, cache in sorted(_CALIBRATION_CACHES.items()):
-        info = cache.cache_info()
-        stats[name] = {
-            "hits": info.hits,
-            "misses": info.misses,
-            "size": info.currsize,
-            "maxsize": info.maxsize,
-        }
-    return stats
+    return obs.cache_stats(_CALIBRATION_CACHES)
+
+
+def _active_store():
+    """The artifact store calibrations read through, or ``None``.
+
+    Resolved lazily per call (import and lookup) so ``repro.store``
+    stays an optional layer: with no store configured every calibration
+    behaves exactly as before.
+    """
+    from repro.store.store import active_store
+
+    return active_store()
 
 
 def calibrate_costs(
@@ -154,8 +130,23 @@ def calibrate_costs(
     """
     if min(lookup_probes, flood_probes, walk_probes) < 1:
         raise ParameterError("probe counts must be >= 1")
+    config = config or PdhtConfig.from_scenario(params)
+    store = _active_store()
+    inputs = {
+        "params": params,
+        "config": config,
+        "seed": seed,
+        "lookup_probes": lookup_probes,
+        "flood_probes": flood_probes,
+        "walk_probes": walk_probes,
+        "num_active_peers": num_active_peers,
+    }
+    if store is not None:
+        stored = store.load_costs(inputs)
+        if stored is not None:
+            return stored
     with obs.span("calibrate.costs", peers=params.num_peers, seed=seed):
-        return _calibrate_costs_probe(
+        costs = _calibrate_costs_probe(
             params,
             config,
             seed,
@@ -164,6 +155,9 @@ def calibrate_costs(
             walk_probes,
             num_active_peers,
         )
+    if store is not None:
+        store.save_costs(inputs, costs)
+    return costs
 
 
 def _calibrate_costs_probe(
@@ -328,15 +322,34 @@ def calibrate_churn_costs(
     fractions (turnover misses, hit floods) and the hot-key lookup mix
     reflect the shifting workload the kernel will actually run.
     """
+    config = config or PdhtConfig.from_scenario(params)
+    store = _active_store()
+    inputs = {
+        "params": params,
+        "churn": churn,
+        "config": config,
+        "seed": seed,
+        "warmup": warmup,
+        "rounds": rounds,
+        "walk_probes": walk_probes,
+        "model": model,
+    }
+    if store is not None:
+        stored = store.load_churn_costs(inputs)
+        if stored is not None:
+            return stored
     with obs.span(
         "calibrate.churn",
         peers=params.num_peers,
         availability=getattr(churn, "availability", None),
         seed=seed,
     ):
-        return _calibrate_churn_costs_probe(
+        costs = _calibrate_churn_costs_probe(
             params, churn, config, seed, warmup, rounds, walk_probes, model
         )
+    if store is not None:
+        store.save_churn_costs(inputs, costs)
+    return costs
 
 
 def _calibrate_churn_costs_probe(
@@ -620,15 +633,32 @@ def _churned_lookup_probe(
     (the responsible-peer hand-over) and detour others, with a net
     effect that genuinely depends on the trie size.
     """
+    store = _active_store()
+    inputs = {
+        "params": params,
+        "config": config,
+        "availability": availability,
+        "num_active_peers": num_active_peers,
+        "seed": seed,
+        "probes": probes,
+        "mask_epochs": mask_epochs,
+    }
+    if store is not None:
+        stored = store.load_probe(inputs)
+        if stored is not None:
+            return stored
     with obs.span(
         "calibrate.lookup_probe",
         peers=params.num_peers,
         members=num_active_peers,
     ):
-        return _churned_lookup_probe_impl(
+        value = _churned_lookup_probe_impl(
             params, config, availability, num_active_peers, seed, probes,
             mask_epochs,
         )
+    if store is not None:
+        store.save_probe(inputs, value)
+    return value
 
 
 def _churned_lookup_probe_impl(

@@ -41,7 +41,13 @@ from repro.fastsim.workload import BatchWorkload
 from repro.net.churn import ChurnConfig
 from repro.pdht.config import PdhtConfig
 
-__all__ = ["FastSimJob", "resolve_jobs", "resolve_worker_count", "run_many"]
+__all__ = [
+    "FastSimJob",
+    "job_key",
+    "resolve_jobs",
+    "resolve_worker_count",
+    "run_many",
+]
 
 
 @dataclass(frozen=True)
@@ -131,6 +137,21 @@ def resolve_jobs(jobs: Sequence[FastSimJob]) -> list[FastSimJob]:
     return resolved
 
 
+def job_key(job: FastSimJob) -> str:
+    """The artifact-store content key of a fully-resolved job.
+
+    Key a job only after :func:`resolve_jobs`: the resolved spec is
+    self-contained — scenario, config, strategy, seed, duration, frozen
+    workload (rng state included), churn, and the *resolved* per-op
+    costs all land in the hash, so a cost change (recalibration, new
+    cost model) re-keys exactly the cells it affects. The envelope adds
+    ``repro.__version__`` and the ``sweep_cell`` schema rev on top.
+    """
+    from repro.store.keys import content_key
+
+    return content_key("sweep_cell", {"job": job})
+
+
 def _run_job(job: FastSimJob) -> FastSimReport:
     """Worker entry point (module-level so it pickles under spawn)."""
     return job.run()
@@ -161,7 +182,9 @@ def _run_job_telemetry(
 
 
 def run_many(
-    jobs: Sequence[FastSimJob], workers: int = 1
+    jobs: Sequence[FastSimJob],
+    workers: int = 1,
+    store: Optional[Any] = None,
 ) -> list[FastSimReport]:
     """Run every job; reports return in job order.
 
@@ -172,6 +195,17 @@ def run_many(
     way, so sequential and parallel execution charge identical costs and
     produce identical seeded reports.
 
+    ``store`` (default: the process-wide active store, see
+    :mod:`repro.store`) makes the fan-out *resumable*: each resolved
+    job is content-keyed (:func:`job_key`), jobs whose report is
+    already on disk are loaded instead of run, only the misses execute,
+    and every fresh report is saved before the merged, job-ordered list
+    returns. An interrupted sweep rerun therefore recomputes zero
+    completed cells, and any input change (params, seed, costs,
+    workload state, code version) re-keys — and thus recomputes —
+    exactly the affected cells. ``cache.store.sweep_cell.hit/.miss``
+    counters make resumption observable.
+
     When telemetry is enabled (:func:`repro.obs.enable`), every pool
     worker's collector snapshot rides back with its report and is merged
     into the parent's collector — one profile for the whole fan-out,
@@ -181,28 +215,55 @@ def run_many(
     workers = resolve_worker_count(workers)
     resolved = resolve_jobs(jobs)
     telemetry = obs.enabled()
-    if workers == 1 or len(resolved) <= 1:
-        with obs.span("parallel.run_many", jobs=len(resolved), workers=1):
-            reports = [job.run() for job in resolved]
+    if store is None:
+        from repro.store.store import active_store
+
+        store = active_store()
+
+    reports: list[Optional[FastSimReport]] = [None] * len(resolved)
+    keys: list[Optional[str]] = [None] * len(resolved)
+    if store is not None:
+        for index, job in enumerate(resolved):
+            keys[index] = job_key(job)
+            reports[index] = store.load_report(keys[index])
+    pending = [i for i, report in enumerate(reports) if report is None]
+
+    def _finish(index: int, report: FastSimReport) -> None:
+        reports[index] = report
+        if store is not None:
+            store.save_report(keys[index] or job_key(resolved[index]), report)
+
+    if workers == 1 or len(pending) <= 1:
+        with obs.span(
+            "parallel.run_many",
+            jobs=len(resolved),
+            cached=len(resolved) - len(pending),
+            workers=1,
+        ):
+            for index in pending:
+                _finish(index, resolved[index].run())
         if telemetry:
             obs.sample_peak_rss("worker")
-        return reports
+        return reports  # type: ignore[return-value]
     with obs.span(
         "parallel.run_many",
         jobs=len(resolved),
-        workers=min(workers, len(resolved)),
+        cached=len(resolved) - len(pending),
+        workers=min(workers, len(pending)),
     ):
         with ProcessPoolExecutor(
-            max_workers=min(workers, len(resolved))
+            max_workers=min(workers, len(pending))
         ) as pool:
             outcomes = list(
                 pool.map(
                     _run_job_telemetry,
-                    [(job, telemetry) for job in resolved],
+                    [(resolved[i], telemetry) for i in pending],
                 )
             )
+        for index, (report, _) in zip(pending, outcomes):
+            _finish(index, report)
         # Merge inside the span so worker spans re-root under it: the
         # pooled profile nests exactly like the sequential one.
         for _, snapshot in outcomes:
             obs.merge_snapshot(snapshot)
-    return [report for report, _ in outcomes]
+    return reports  # type: ignore[return-value]

@@ -40,9 +40,12 @@ from repro.obs.collector import (
     set_collector,
     span,
 )
+from repro.obs.cache import cache_stats, counted_cache
 from repro.obs.profile import profile_data, profile_json, profile_text
 
 __all__ = [
+    "cache_stats",
+    "counted_cache",
     "Collector",
     "SNAPSHOT_SCHEMA",
     "enabled",

@@ -1,0 +1,93 @@
+"""Versioned SQLite schema for the artifact store.
+
+The store follows the engine/schema/migration layering: this module owns
+*what the database looks like* (an ordered migration list, applied by
+:meth:`repro.store.db.Database.migrate` under ``PRAGMA user_version``),
+while :mod:`repro.store.db` owns *how to talk to it* and
+:mod:`repro.store.store` owns *what the rows mean*.
+
+Migrations are append-only: never edit a shipped entry — add a new one.
+``user_version`` records how many have been applied, so an old database
+opened by a newer package runs exactly the migrations it is missing.
+
+Artifact kinds and their schema revisions
+-----------------------------------------
+
+Every artifact row carries a ``kind`` and its content key bakes in the
+kind's *schema revision* (:data:`ARTIFACT_SCHEMA_REVS`). Bump a kind's
+rev whenever the payload format or the semantics of its inputs change:
+old rows then simply stop matching (their keys differ) and are
+recomputed, without any destructive migration — the incremental
+invalidation discipline, applied to the payload format itself.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+__all__ = [
+    "MIGRATIONS",
+    "SCHEMA_VERSION",
+    "ARTIFACT_KINDS",
+    "ARTIFACT_SCHEMA_REVS",
+    "schema_version",
+    "pending_migrations",
+]
+
+
+#: Ordered migration scripts; index i upgrades user_version i -> i + 1.
+MIGRATIONS: tuple[str, ...] = (
+    # v1: the artifact table. One row per content-addressed artifact:
+    # the key is the sha-256 of the canonical input envelope (kind,
+    # schema rev, package version, inputs), the payload is JSON.
+    """
+    CREATE TABLE artifacts (
+        key        TEXT PRIMARY KEY,
+        kind       TEXT NOT NULL,
+        payload    TEXT NOT NULL,
+        version    TEXT NOT NULL,
+        created_at TEXT NOT NULL,
+        size_bytes INTEGER NOT NULL
+    );
+    CREATE INDEX artifacts_by_kind ON artifacts (kind);
+    """,
+)
+
+#: The schema version a fully-migrated database reports.
+SCHEMA_VERSION = len(MIGRATIONS)
+
+
+#: Known artifact kinds -> payload schema revision. The rev is part of
+#: every content key, so bumping one invalidates exactly that kind.
+ARTIFACT_SCHEMA_REVS: dict[str, int] = {
+    # Calibrated base per-op costs (PerOpCosts off an event substrate).
+    "costs": 1,
+    # Calibrated availability-dependent per-op costs (ChurnOpCosts).
+    "churn_costs": 1,
+    # Churned-substrate per-lookup probe (the member-rescale input).
+    "lookup_probe": 1,
+    # One kernel run: a FastSimJob's FastSimReport (sweep cells, figure
+    # strategy runs, replicate kernel runs — anything run_many executes).
+    "sweep_cell": 1,
+    # One replicate seed's figure payload from api.run(replicates=N).
+    "replicate": 1,
+    # A full provenance-stamped ExperimentResult export.
+    "result": 1,
+}
+
+ARTIFACT_KINDS = tuple(ARTIFACT_SCHEMA_REVS)
+
+
+def schema_version(conn: sqlite3.Connection) -> int:
+    """The migration level of an open database (``PRAGMA user_version``)."""
+    return int(conn.execute("PRAGMA user_version").fetchone()[0])
+
+
+def pending_migrations(conn: sqlite3.Connection) -> list[tuple[int, str]]:
+    """The ``(target_version, script)`` migrations this database lacks."""
+    current = schema_version(conn)
+    return [
+        (index + 1, script)
+        for index, script in enumerate(MIGRATIONS)
+        if index >= current
+    ]

@@ -1,0 +1,170 @@
+"""Bit-exact JSON payloads for the artifact kinds.
+
+Every ``*_to_payload`` / ``*_from_payload`` pair round-trips its object
+exactly: python floats survive JSON unchanged (``repr`` is the shortest
+round-trip form), ints are ints, and enum-keyed dicts are rekeyed by
+enum *value* and restored. The payload carries a ``"type"`` tag so a
+row loaded under the wrong kind fails loudly instead of mis-parsing.
+
+fastsim types are imported lazily inside the functions: ``repro.store``
+must stay importable without dragging the kernel (and numpy) in, and
+the reverse import (`compare` -> `store`) must not cycle.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = [
+    "costs_to_payload",
+    "costs_from_payload",
+    "churn_costs_to_payload",
+    "churn_costs_from_payload",
+    "probe_to_payload",
+    "probe_from_payload",
+    "report_to_payload",
+    "report_from_payload",
+    "dumps",
+    "loads",
+]
+
+
+def dumps(payload: dict[str, Any]) -> str:
+    """Canonical payload text (sorted keys; exact float round-trip)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def loads(text: str, expected_type: str) -> dict[str, Any]:
+    payload = json.loads(text)
+    found = payload.get("type")
+    if found != expected_type:
+        raise ValueError(
+            f"artifact payload has type {found!r}, expected {expected_type!r}"
+        )
+    return payload
+
+
+def _tagged(type_name: str, **fields: Any) -> dict[str, Any]:
+    return {"type": type_name, **fields}
+
+
+# -- per-op costs -------------------------------------------------------
+
+
+def costs_to_payload(costs: Any) -> dict[str, Any]:
+    """Payload for a :class:`repro.fastsim.kernel.PerOpCosts`."""
+    import dataclasses
+
+    return _tagged("costs", **dataclasses.asdict(costs))
+
+
+def costs_from_payload(payload: dict[str, Any]) -> Any:
+    from repro.fastsim.kernel import PerOpCosts
+
+    fields = {name: value for name, value in payload.items() if name != "type"}
+    return PerOpCosts(**fields)
+
+
+def churn_costs_to_payload(costs: Any) -> dict[str, Any]:
+    """Payload for a :class:`repro.fastsim.churncosts.ChurnOpCosts`."""
+    import dataclasses
+
+    return _tagged("churn_costs", **dataclasses.asdict(costs))
+
+
+def churn_costs_from_payload(payload: dict[str, Any]) -> Any:
+    from repro.fastsim.churncosts import ChurnOpCosts
+
+    fields = {name: value for name, value in payload.items() if name != "type"}
+    return ChurnOpCosts(**fields)
+
+
+def probe_to_payload(value: float) -> dict[str, Any]:
+    """Payload for a churned-lookup probe result (a bare float)."""
+    return _tagged("lookup_probe", value=float(value))
+
+
+def probe_from_payload(payload: dict[str, Any]) -> float:
+    return float(payload["value"])
+
+
+# -- kernel reports -----------------------------------------------------
+
+
+def report_to_payload(report: Any) -> dict[str, Any]:
+    """Payload for a :class:`repro.fastsim.metrics.FastSimReport`.
+
+    Exact by construction: every field is dumped under its constructor
+    name; ``messages_by_category`` is kept as ``[value, total]`` *pairs*
+    in the report's own dict order — a sorted-key JSON object would
+    reorder the categories and shift the last ulp of order-sensitive
+    consumers like ``sum(messages_by_category.values())``; the windowed
+    series keep their ``(time, value)`` pairs as lists.
+    """
+    return _tagged(
+        "report",
+        strategy=report.strategy,
+        params=report.params.to_dict(),
+        duration=report.duration,
+        queries=report.queries,
+        answered=report.answered,
+        index_hits=report.index_hits,
+        messages_by_category=[
+            [category.value, total]
+            for category, total in report.messages_by_category.items()
+        ],
+        mean_index_size=report.mean_index_size,
+        index_size_series=[list(point) for point in report.index_size_series],
+        hit_rate_series=[list(point) for point in report.hit_rate_series],
+        engine=report.engine,
+        insertions=report.insertions,
+        reinsertions=report.reinsertions,
+        cold_misses=report.cold_misses,
+        unresolved=report.unresolved,
+        gateway_discoveries=report.gateway_discoveries,
+        churn_transitions=report.churn_transitions,
+        stale_hits=report.stale_hits,
+        content_refreshes=report.content_refreshes,
+        key_ttl=report.key_ttl,
+        final_index_size=report.final_index_size,
+        elapsed_seconds=report.elapsed_seconds,
+    )
+
+
+def report_from_payload(payload: dict[str, Any]) -> Any:
+    from repro.analysis.parameters import ScenarioParameters
+    from repro.fastsim.metrics import FastSimReport
+    from repro.sim.metrics import MessageCategory
+
+    return FastSimReport(
+        strategy=payload["strategy"],
+        params=ScenarioParameters.from_dict(payload["params"]),
+        duration=payload["duration"],
+        queries=payload["queries"],
+        answered=payload["answered"],
+        index_hits=payload["index_hits"],
+        messages_by_category={
+            MessageCategory(name): total
+            for name, total in payload["messages_by_category"]
+        },
+        mean_index_size=payload["mean_index_size"],
+        index_size_series=[
+            (point[0], point[1]) for point in payload["index_size_series"]
+        ],
+        hit_rate_series=[
+            (point[0], point[1]) for point in payload["hit_rate_series"]
+        ],
+        engine=payload["engine"],
+        insertions=payload["insertions"],
+        reinsertions=payload["reinsertions"],
+        cold_misses=payload["cold_misses"],
+        unresolved=payload["unresolved"],
+        gateway_discoveries=payload["gateway_discoveries"],
+        churn_transitions=payload["churn_transitions"],
+        stale_hits=payload["stale_hits"],
+        content_refreshes=payload["content_refreshes"],
+        key_ttl=payload["key_ttl"],
+        final_index_size=payload["final_index_size"],
+        elapsed_seconds=payload["elapsed_seconds"],
+    )

@@ -11,7 +11,7 @@ import json
 
 import pytest
 
-from benchmarks.dashboard import build_dashboard
+from benchmarks.dashboard import _CHARTS, build_dashboard
 from benchmarks.dashboard import main as dashboard_main
 from benchmarks.record import (
     HISTORY_PATH,
@@ -123,7 +123,7 @@ class TestDashboard:
             for i in (1, 2, 3)
         ]
         page = build_dashboard(records)
-        assert page.count("<svg") == 8
+        assert page.count("<svg") == len(_CHARTS)
         assert "3 committed records" in page
         assert "<table>" in page
         assert "sha0003" in page
@@ -145,5 +145,5 @@ class TestDashboard:
         output = tmp_path / "dashboard.html"
         assert dashboard_main(["--output", str(output)]) == 0
         page = output.read_text()
-        assert page.count("<svg") == 8
+        assert page.count("<svg") == len(_CHARTS)
         assert "BENCH_history" in page

@@ -1,0 +1,122 @@
+"""Property tests: a content key changes iff one of its inputs changes.
+
+The invalidation contract of ``repro.store`` is exactly this biconditional:
+equal (model, params, seed, version, schema-rev) tuples produce equal
+keys (so artifacts are reused), and a change to *any* component produces
+a different key (so stale artifacts can never be served).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.parameters import ScenarioParameters
+from repro.net.churn import ChurnConfig
+from repro.store import content_key
+from repro.workloads.models import GradualDrift, RankSwap, StationaryZipf
+
+seed_st = st.integers(min_value=0, max_value=2**31 - 1)
+peers_st = st.integers(min_value=50, max_value=10**6)
+alpha_st = st.floats(
+    min_value=0.0, max_value=4.0, allow_nan=False, allow_infinity=False
+)
+version_st = st.text(
+    alphabet="0123456789.", min_size=1, max_size=12
+).filter(lambda s: s.strip("."))
+rev_st = st.integers(min_value=1, max_value=50)
+
+
+def _model(kind: int, period: float):
+    if kind == 0:
+        return StationaryZipf()
+    if kind == 1:
+        return RankSwap(shift_time=period)
+    return GradualDrift(period=period)
+
+
+@given(seed=seed_st, peers=peers_st, alpha=alpha_st)
+@settings(max_examples=60, deadline=None)
+def test_equal_inputs_produce_equal_keys(seed, peers, alpha):
+    def make():
+        return {
+            "params": ScenarioParameters(num_peers=peers, alpha=alpha),
+            "model": _model(seed % 3, period=120.0),
+            "seed": seed,
+        }
+
+    assert content_key("sweep_cell", make()) == content_key(
+        "sweep_cell", make()
+    )
+
+
+@given(seed=seed_st, other=seed_st)
+@settings(max_examples=60, deadline=None)
+def test_seed_change_changes_key_iff_seed_differs(seed, other):
+    base = {"params": ScenarioParameters(), "seed": seed}
+    change = {"params": ScenarioParameters(), "seed": other}
+    same = content_key("replicate", base) == content_key("replicate", change)
+    assert same == (seed == other)
+
+
+@given(peers=peers_st, delta=st.integers(min_value=1, max_value=1000))
+@settings(max_examples=60, deadline=None)
+def test_params_change_changes_key(peers, delta):
+    base = ScenarioParameters(num_peers=peers)
+    bumped = replace(base, num_peers=peers + delta)
+    assert content_key("costs", {"params": base}) != content_key(
+        "costs", {"params": bumped}
+    )
+
+
+@given(alpha=alpha_st, kind=st.integers(min_value=0, max_value=2))
+@settings(max_examples=60, deadline=None)
+def test_model_change_changes_key(alpha, kind):
+    stationary = {"model": _model(0, 120.0), "alpha": alpha}
+    shifting = {"model": _model(1 + kind % 2, 120.0), "alpha": alpha}
+    assert content_key("churn_costs", stationary) != content_key(
+        "churn_costs", shifting
+    )
+    # The same model family at a different period is a different model.
+    slow = {"model": _model(1, 240.0), "alpha": alpha}
+    fast = {"model": _model(1, 120.0), "alpha": alpha}
+    assert content_key("churn_costs", slow) != content_key(
+        "churn_costs", fast
+    )
+
+
+@given(version=version_st, other=version_st)
+@settings(max_examples=60, deadline=None)
+def test_version_change_changes_key_iff_version_differs(version, other):
+    inputs = {"params": ScenarioParameters(), "seed": 0}
+    same = content_key("costs", inputs, version=version) == content_key(
+        "costs", inputs, version=other
+    )
+    assert same == (version == other)
+
+
+@given(rev=rev_st, other=rev_st)
+@settings(max_examples=60, deadline=None)
+def test_schema_rev_change_changes_key_iff_rev_differs(rev, other):
+    inputs = {"params": ScenarioParameters(), "seed": 0}
+    same = content_key("costs", inputs, schema_rev=rev) == content_key(
+        "costs", inputs, schema_rev=other
+    )
+    assert same == (rev == other)
+
+
+@given(
+    session=st.floats(min_value=60.0, max_value=7200.0, allow_nan=False),
+    offline=st.floats(min_value=60.0, max_value=7200.0, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_churn_config_identity(session, offline):
+    a = {"churn": ChurnConfig(session, offline)}
+    b = {"churn": ChurnConfig(session, offline)}
+    assert content_key("churn_costs", a) == content_key("churn_costs", b)
+    shifted = {"churn": ChurnConfig(session, offline + 1.0)}
+    assert content_key("churn_costs", a) != content_key(
+        "churn_costs", shifted
+    )

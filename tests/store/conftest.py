@@ -1,0 +1,28 @@
+"""Fixtures for the store tests: pristine telemetry state per test.
+
+The store emits ``cache.store.*`` obs counters, and the obs collector is
+process-global (counters accumulate across ``enable()`` calls by
+design), so every test here gets a fresh disabled collector and restores
+the prior one afterwards — the same discipline as ``tests/obs``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    was_enabled = obs.enabled()
+    previous = obs.set_collector(obs.Collector())
+    obs.disable()
+    obs.reset_span_stack()
+    yield
+    obs.reset_span_stack()
+    obs.set_collector(previous)
+    if was_enabled:
+        obs.enable()
+    else:
+        obs.disable()
