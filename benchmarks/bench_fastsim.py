@@ -25,7 +25,14 @@ under pytest) when any drifts:
   (enforced only on runners with >= 4 CPUs; always recorded);
 * telemetry: the 100k-peer kernel run with :mod:`repro.obs` collection
   enabled stays within 2% of the disabled wall-clock, and the seeded
-  reports are bit-identical either way.
+  reports are bit-identical either way;
+* shm: shared-memory staging shrinks the per-worker pickle payload by
+  >= 3x on explicit-workload jobs, the pooled reports are identical to
+  the pickle-copy pool's, and no ``/dev/shm`` segment outlives the run;
+* scale: the 10^7-peer kernel run (``REPRO_BENCH_SCALE_PEERS``
+  overrides; ``REPRO_BENCH_XL=1`` adds a 10^8 slim smoke) keeps its
+  wide-precision traced allocation peak <= 8 GiB, ``slim`` precision
+  <= 0.7x the wide peak, and the slim hit rate within 5% of wide.
 
 The comparison/gate scenarios additionally record the process peak RSS
 (``peak_rss_bytes``) — a process-lifetime high-water mark, so each
@@ -421,6 +428,211 @@ def _obs_overhead_record() -> dict[str, object]:
     }
 
 
+#: Default peer count of the standing scale scenario (override with
+#: ``REPRO_BENCH_SCALE_PEERS`` for quick local runs); ``REPRO_BENCH_XL=1``
+#: adds a short 10^8-peer slim-precision smoke on top.
+SCALE_PEERS = 10_000_000
+SCALE_XL_PEERS = 100_000_000
+#: Rounds simulated at the scale scenario: enough for the TTL index to
+#: reach steady churn while keeping the weekly job affordable.
+SCALE_DURATION = 24.0
+#: The 10^7-peer wide-precision run must fit a 16 GB runner: traced
+#: allocation peak at most 8 GiB (state + one draw block, no O(queries)
+#: transients).
+SCALE_PEAK_CEILING = 8 * 2**30
+#: ``slim`` must actually buy memory: traced peak at most this fraction
+#: of the wide run's. State arrays halve (float64/int64 ->
+#: float32/uint32) but the Zipf weight/cumulative tables and the int64
+#: draw pipeline are precision-independent, so the whole-run peak lands
+#: around 0.75x — the ceiling guards that from regressing, it does not
+#: promise a full 2x.
+SLIM_MEMORY_RATIO_CEILING = 0.8
+#: Shared-memory staging must shrink the per-worker pickle payload by at
+#: least this factor vs shipping the arrays by copy.
+SHM_PAYLOAD_RATIO_FLOOR = 3.0
+
+
+def _traced_kernel_run(scenario, duration: float, precision: str):
+    """One seeded kernel run under tracemalloc: ``(report, peak_bytes)``.
+
+    The Zipf weight cache is cleared first so every mode is charged the
+    same table build; the traced peak (numpy routes allocations through
+    the tracemalloc hooks) isolates this run from the process-lifetime
+    RSS high-water mark the other records share.
+    """
+    import gc
+    import tracemalloc
+
+    from repro.analysis.zipf import _rank_weights
+
+    _rank_weights.cache_clear()
+    gc.collect()
+    tracemalloc.start()
+    try:
+        report = run_fastsim(
+            scenario, duration=duration, seed=0, precision=precision
+        )
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return report, peak
+
+
+def _scale_record() -> dict[str, object]:
+    """The 10^7-peer standing stress scenario, wide vs slim precision.
+
+    Runs the same seeded kernel configuration once per dtype policy and
+    records wall-clock, simulated queries/sec and the traced allocation
+    peak. Gates: the wide run fits ``SCALE_PEAK_CEILING``, slim stays
+    under ``SLIM_MEMORY_RATIO_CEILING`` of the wide peak, and the slim
+    hit rate agrees within ``TOLERANCE``. ``REPRO_BENCH_XL=1`` appends a
+    short 10^8-peer slim smoke (recorded, not gated — it needs a large
+    runner).
+    """
+    import os
+
+    from repro.experiments.scenario import fastsim_scenario
+
+    peers = int(os.environ.get("REPRO_BENCH_SCALE_PEERS", SCALE_PEERS))
+    scenario = fastsim_scenario(scale=peers / 20_000)
+    modes: dict[str, dict[str, object]] = {}
+    for precision in ("wide", "slim"):
+        report, peak = _traced_kernel_run(
+            scenario, SCALE_DURATION, precision
+        )
+        modes[precision] = {
+            "seconds": report.elapsed_seconds,
+            "traced_peak_bytes": peak,
+            "hit_rate": report.hit_rate,
+            "queries_per_second": report.simulated_queries_per_second,
+        }
+    wide, slim = modes["wide"], modes["slim"]
+    record = {
+        "scenario": "scale",
+        "num_peers": scenario.num_peers,
+        "n_keys": scenario.n_keys,
+        "duration_rounds": SCALE_DURATION,
+        "wide_seconds": wide["seconds"],
+        "wide_traced_peak_bytes": wide["traced_peak_bytes"],
+        "wide_hit_rate": wide["hit_rate"],
+        "wide_queries_per_second": wide["queries_per_second"],
+        "slim_seconds": slim["seconds"],
+        "slim_traced_peak_bytes": slim["traced_peak_bytes"],
+        "slim_hit_rate": slim["hit_rate"],
+        "slim_queries_per_second": slim["queries_per_second"],
+        "slim_wide_memory_ratio": (
+            slim["traced_peak_bytes"] / wide["traced_peak_bytes"]
+            if wide["traced_peak_bytes"] > 0
+            else float("inf")
+        ),
+        "hit_rate_rel_diff": (
+            abs(slim["hit_rate"] - wide["hit_rate"]) / wide["hit_rate"]
+            if wide["hit_rate"] > 0
+            else float("inf")
+        ),
+        "peak_rss_bytes": obs.peak_rss_bytes(),
+    }
+    if os.environ.get("REPRO_BENCH_XL"):
+        xl_scenario = fastsim_scenario(scale=SCALE_XL_PEERS / 20_000)
+        xl_report, xl_peak = _traced_kernel_run(xl_scenario, 6.0, "slim")
+        record["xl"] = {
+            "num_peers": xl_scenario.num_peers,
+            "duration_rounds": 6.0,
+            "slim_seconds": xl_report.elapsed_seconds,
+            "slim_traced_peak_bytes": xl_peak,
+            "slim_hit_rate": xl_report.hit_rate,
+        }
+    return record
+
+
+def _shm_record() -> dict[str, object]:
+    """Shared-memory fan-out: payload reduction, parity, clean teardown.
+
+    Builds four per-strategy jobs carrying explicit batch workloads (the
+    worst case for pickling: each workload holds O(n_keys) Zipf tables),
+    measures the per-worker pickle payload with and without shared-memory
+    staging, and runs the same jobs through a plain pool and a
+    shared-memory pool. Gates: payload shrinks by at least
+    ``SHM_PAYLOAD_RATIO_FLOOR``; reports are identical apart from
+    wall-clock; no ``/dev/shm`` segment survives the run.
+    """
+    import pickle
+
+    from repro.experiments.scenario import fastsim_scenario
+    from repro.fastsim import (
+        FastSimJob,
+        ShmArena,
+        default_batch_workload,
+        leaked_segments,
+        pack_jobs,
+        run_many,
+    )
+    from repro.fastsim.parallel import resolve_jobs
+    from repro.pdht.strategies import STRATEGY_CLASSES
+
+    scenario = fastsim_scenario(scale=5.0)
+    duration = 240.0
+
+    def build_jobs() -> list:
+        # Fresh jobs per run: batch workloads carry RNG state, so a job
+        # is single-use (run_many would otherwise advance the streams).
+        config = PdhtConfig.from_scenario(scenario)
+        return [
+            FastSimJob(
+                params=scenario,
+                strategy=name,
+                seed=0,
+                duration=duration,
+                config=config,
+                workload=default_batch_workload(scenario, 0),
+            )
+            for name in STRATEGY_CLASSES
+        ]
+
+    resolved = resolve_jobs(build_jobs())
+    full_bytes = sum(len(pickle.dumps(job)) for job in resolved)
+    with ShmArena() as arena:
+        packed = pack_jobs(resolved, arena)
+        packed_bytes = sum(len(pickle.dumps(job)) for job in packed)
+        arena_bytes = arena.total_bytes
+        segments = len(arena.segment_names)
+
+    started = time.perf_counter()
+    plain_reports = run_many(build_jobs(), workers=2)
+    plain_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    shared_reports = run_many(build_jobs(), workers=2, shared_memory=True)
+    shared_seconds = time.perf_counter() - started
+
+    def comparable(report) -> dict[str, object]:
+        payload = report.to_dict()
+        payload.pop("elapsed_seconds")  # wall-clock, legitimately differs
+        return payload
+
+    reports_identical = [comparable(r) for r in plain_reports] == [
+        comparable(r) for r in shared_reports
+    ]
+    return {
+        "scenario": "shm",
+        "num_peers": scenario.num_peers,
+        "n_keys": scenario.n_keys,
+        "duration_rounds": duration,
+        "jobs": len(resolved),
+        "full_payload_bytes": full_bytes,
+        "packed_payload_bytes": packed_bytes,
+        "payload_ratio": (
+            full_bytes / packed_bytes if packed_bytes > 0 else float("inf")
+        ),
+        "arena_bytes": arena_bytes,
+        "arena_segments": segments,
+        "plain_seconds": plain_seconds,
+        "shared_seconds": shared_seconds,
+        "reports_identical": reports_identical,
+        "leaked_segments": leaked_segments(),
+        "peak_rss_bytes": obs.peak_rss_bytes(),
+    }
+
+
 def enforce(payload: dict[str, object]) -> list[str]:
     """All acceptance gates; returns the list of violations (empty = ok)."""
     violations: list[str] = []
@@ -487,6 +699,42 @@ def enforce(payload: dict[str, object]) -> list[str]:
             f"{stored['warm_calibration_seconds']:.3f}s inside "
             "calibrate.* spans (a store hit must never probe)"
         )
+    scale = payload["scale_record"]
+    if scale["wide_traced_peak_bytes"] > SCALE_PEAK_CEILING:
+        violations.append(
+            f"scale scenario ({scale['num_peers']} peers) traced peak "
+            f"{scale['wide_traced_peak_bytes'] / 2**30:.2f} GiB exceeds "
+            f"{SCALE_PEAK_CEILING / 2**30:.0f} GiB"
+        )
+    if scale["slim_wide_memory_ratio"] > SLIM_MEMORY_RATIO_CEILING:
+        violations.append(
+            f"slim precision peak {scale['slim_wide_memory_ratio']:.2f}x "
+            f"the wide peak (> {SLIM_MEMORY_RATIO_CEILING}x): dtype "
+            "slimming stopped paying for itself"
+        )
+    if scale["hit_rate_rel_diff"] > TOLERANCE:
+        violations.append(
+            f"slim-precision hit rate drifted "
+            f"{100 * scale['hit_rate_rel_diff']:.2f}% from wide "
+            f"(> {100 * TOLERANCE:.0f}%)"
+        )
+    shm = payload["shm_record"]
+    if shm["payload_ratio"] < SHM_PAYLOAD_RATIO_FLOOR:
+        violations.append(
+            f"shared-memory pickle payload only "
+            f"{shm['payload_ratio']:.1f}x smaller than the copy path "
+            f"(< {SHM_PAYLOAD_RATIO_FLOOR}x)"
+        )
+    if not shm["reports_identical"]:
+        violations.append(
+            "shared-memory pool produced different reports than the "
+            "pickle-copy pool (staging must be value-transparent)"
+        )
+    if shm["leaked_segments"]:
+        violations.append(
+            f"shared-memory segments leaked in /dev/shm: "
+            f"{shm['leaked_segments']}"
+        )
     observed = payload["obs_record"]
     if not observed["bit_identical"]:
         violations.append(
@@ -544,6 +792,8 @@ def run_benchmark() -> dict[str, object]:
         workloads_record = _workloads_record()
         jobs_record = _jobs_record()
         store_record = _store_record()
+        shm_record = _shm_record()
+        scale_record = _scale_record()
     finally:
         if not was_enabled:
             obs.disable()
@@ -567,6 +817,8 @@ def run_benchmark() -> dict[str, object]:
         "workloads_record": workloads_record,
         "jobs_record": jobs_record,
         "store_record": store_record,
+        "shm_record": shm_record,
+        "scale_record": scale_record,
         "obs_record": obs_record,
         "telemetry_record": telemetry_record,
     }
@@ -616,6 +868,24 @@ if __name__ == "__main__":
         f"cold (hit rate {stored['store_hit_rate']:.2f}), warm calibration "
         f"{stored['warm_calibration_seconds']:.3f}s vs "
         f"{stored['cold_calibration_seconds']:.3f}s"
+    )
+    shm = payload["shm_record"]
+    print(
+        f"shm: payload {shm['full_payload_bytes']:,} B -> "
+        f"{shm['packed_payload_bytes']:,} B ({shm['payload_ratio']:.0f}x), "
+        f"arena {shm['arena_bytes'] / 2**20:.1f} MiB in "
+        f"{shm['arena_segments']} segments, identical="
+        f"{shm['reports_identical']}, leaked={shm['leaked_segments']}"
+    )
+    scale = payload["scale_record"]
+    print(
+        f"scale: {scale['num_peers']:,} peers x {scale['duration_rounds']:g} "
+        f"rounds: wide {scale['wide_seconds']:.1f}s / "
+        f"{scale['wide_traced_peak_bytes'] / 2**30:.2f} GiB peak, slim "
+        f"{scale['slim_seconds']:.1f}s / "
+        f"{scale['slim_traced_peak_bytes'] / 2**30:.2f} GiB peak "
+        f"({scale['slim_wide_memory_ratio']:.2f}x), hit-rate diff "
+        f"{100 * scale['hit_rate_rel_diff']:.2f}%"
     )
     observed = payload["obs_record"]
     print(

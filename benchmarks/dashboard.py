@@ -4,11 +4,14 @@ Renders the committed benchmark trajectory (see :mod:`benchmarks.record`)
 as one self-contained HTML page with inline SVG line charts — no server,
 no JavaScript framework, no third-party assets. Each headline metric gets
 its own chart (speedup, kernel wall-clock, workloads slowdown, jobs
-scaling, telemetry overhead, peak RSS, calibration time); the
-cross-engine agreement drifts share one multi-series chart. Acceptance
-gates (10x speedup floor, 5% agreement tolerance, 1.2x workloads
-ceiling, 2.5x jobs floor, 2% telemetry ceiling) are drawn as dashed
-threshold lines so a drift toward a gate is visible before it trips.
+scaling, telemetry overhead, shared-memory payload shrink, the 10^7-peer
+scale scenario's wall-clock and wide/slim traced peaks, peak RSS,
+calibration time); the cross-engine agreement drifts share one
+multi-series chart. Acceptance gates (10x speedup floor, 5% agreement
+tolerance, 1.2x workloads ceiling, 2.5x jobs floor, 2% telemetry
+ceiling, 3x shared-memory payload floor, 8 GiB scale-peak ceiling) are
+drawn as dashed threshold lines so a drift toward a gate is visible
+before it trips.
 
 A full table view of every record sits below the charts — each chart
 value is reachable without hovering — and a hover layer (crosshair +
@@ -154,6 +157,32 @@ _CHARTS = [
         "x",
         [("hit rate", lambda r: _get(r, "store_hit_rate"))],
         (1.0, "gate: = 1.0"),
+    ),
+    (
+        "shm",
+        "Shared-memory payload shrink factor",
+        "x",
+        [("payload ratio", lambda r: _get(r, "shm_payload_ratio"))],
+        (3.0, "gate: >= 3x"),
+    ),
+    (
+        "scale",
+        "Kernel wall-clock at 10^7 peers",
+        "s",
+        [
+            ("wide", lambda r: _get(r, "scale_wide_seconds")),
+        ],
+        None,
+    ),
+    (
+        "scale_mem",
+        "Traced allocation peak at 10^7 peers",
+        "MiB",
+        [
+            ("wide", lambda r: _get(r, "scale_wide_peak_bytes")),
+            ("slim", lambda r: _get(r, "scale_slim_peak_bytes")),
+        ],
+        (8 * 1024.0, "gate: <= 8 GiB (wide)"),
     ),
     (
         "rss",

@@ -28,6 +28,13 @@ builder is tolerant of older payloads that predate a given record)::
     obs_bit_identical         seeded parity with telemetry on
     store_hit_rate            resumed-sweep artifact-store hit rate
     resume_seconds            resumed-sweep wall-clock (vs cold)
+    shm_payload_ratio         pickle payload shrink factor with shared
+                              memory staging (copy bytes / staged bytes)
+    scale_peers               peer count of the standing scale scenario
+    scale_wide_seconds        10^7-peer kernel wall-clock, wide precision
+    scale_queries_per_second  simulated queries/s there (wide)
+    scale_wide_peak_bytes     traced allocation peak, wide precision
+    scale_slim_peak_bytes     traced allocation peak, slim precision
     calibration_seconds       total time inside calibrate.* spans
     peak_rss_bytes            process peak RSS at the end of the run
 
@@ -170,12 +177,27 @@ def build_record(
     if stored.get("resume_seconds") is not None:
         record["resume_seconds"] = stored["resume_seconds"]
 
+    shm = payload.get("shm_record") or {}
+    if shm.get("payload_ratio") is not None:
+        record["shm_payload_ratio"] = shm["payload_ratio"]
+
+    scale = payload.get("scale_record") or {}
+    if scale.get("wide_seconds") is not None:
+        record["scale_peers"] = scale.get("num_peers")
+        record["scale_wide_seconds"] = scale["wide_seconds"]
+    if scale.get("wide_queries_per_second") is not None:
+        record["scale_queries_per_second"] = scale["wide_queries_per_second"]
+    if scale.get("wide_traced_peak_bytes") is not None:
+        record["scale_wide_peak_bytes"] = scale["wide_traced_peak_bytes"]
+    if scale.get("slim_traced_peak_bytes") is not None:
+        record["scale_slim_peak_bytes"] = scale["slim_traced_peak_bytes"]
+
     telemetry = payload.get("telemetry_record") or {}
     if telemetry.get("calibration_seconds") is not None:
         record["calibration_seconds"] = telemetry["calibration_seconds"]
 
     peak = 0
-    for source in [telemetry, observed, jobs, workloads, *records]:
+    for source in [telemetry, observed, jobs, workloads, shm, scale, *records]:
         if isinstance(source, dict):
             value = source.get("peak_rss_bytes")
             if isinstance(value, (int, float)):

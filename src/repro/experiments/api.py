@@ -105,6 +105,15 @@ class ExperimentParams:
     #: all store traffic (masking ``REPRO_STORE``); ``None`` (default)
     #: keeps the process-wide active store, if any.
     store: Optional[str] = None
+    #: Kernel state dtype policy (``repro.fastsim.precision``): "wide"
+    #: (default, bit-identical float64/int64) or "slim" (float32/uint32
+    #: for 10^7+ peer runs). Part of result identity — slim replicates
+    #: and sweep cells are keyed apart from wide ones.
+    precision: Optional[str] = None
+    #: Ship large workload arrays to pool workers via shared memory
+    #: (``repro.fastsim.shm``) instead of pickling a copy per worker.
+    #: Pure execution detail: results and artifact keys are unchanged.
+    shared_memory: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.duration is not None and self.duration <= 0:
@@ -140,6 +149,16 @@ class ExperimentParams:
         ):
             raise ParameterError(
                 f"store must be a path or 'none', got {self.store!r}"
+            )
+        if self.precision is not None:
+            from repro.fastsim.precision import resolve_precision
+
+            resolve_precision(self.precision)
+        if self.shared_memory is not None and not isinstance(
+            self.shared_memory, bool
+        ):
+            raise ParameterError(
+                f"shared_memory must be a boolean, got {self.shared_memory!r}"
             )
 
     def to_dict(self) -> dict[str, object]:
@@ -198,6 +217,20 @@ class ExperimentContext:
     def jobs(self) -> int:
         """Worker processes for the run's independent units (default 1)."""
         return self.params.jobs if self.params.jobs is not None else 1
+
+    @property
+    def precision(self) -> str:
+        """Kernel state dtype policy name (default ``"wide"``)."""
+        return (
+            self.params.precision
+            if self.params.precision is not None
+            else "wide"
+        )
+
+    @property
+    def shared_memory(self) -> bool:
+        """Whether pool fan-outs ship arrays by shared memory (default off)."""
+        return bool(self.params.shared_memory)
 
 
 @dataclass(frozen=True)
@@ -633,6 +666,10 @@ def _replicate_inputs(ctx: "ExperimentContext") -> dict[str, object]:
     params.pop("jobs", None)
     params.pop("store", None)
     params.pop("replicates", None)
+    # Shared-memory staging changes how arrays travel to workers, never
+    # what they contain — execution detail, out of the key. ``precision``
+    # stays: the dtype policy changes the numbers a figure reports.
+    params.pop("shared_memory", None)
     return {
         "experiment": ctx.spec.name,
         "engine": ctx.engine,
@@ -802,7 +839,7 @@ def _optimal(ctx: ExperimentContext) -> FigureSeries:
     SIMULATED,
     engines=("event", "vectorized"),
     accepts={"engine", "duration", "seed", "scale", "replicates", "jobs",
-             "store"},
+             "store", "precision", "shared_memory"},
     duration=300.0,
     seed=0,
     scale=SIMULATION_SCALE,
@@ -814,6 +851,8 @@ def _sim(ctx: ExperimentContext) -> FigureSeries:
         seed=ctx.seed,
         engine=ctx.engine,
         jobs=ctx.jobs,
+        precision=ctx.precision,
+        shared_memory=ctx.shared_memory,
     )
 
 
@@ -825,7 +864,7 @@ def _sim(ctx: ExperimentContext) -> FigureSeries:
     SIMULATED,
     engines=("event", "vectorized"),
     accepts={"engine", "duration", "seed", "scale", "shift_at",
-             "window", "replicates", "jobs", "store"},
+             "window", "replicates", "jobs", "store", "precision"},
     duration=1200.0,
     seed=0,
     scale=SIMULATION_SCALE,
@@ -838,6 +877,7 @@ def _adaptivity(ctx: ExperimentContext) -> FigureSeries:
         window=ctx.window,
         seed=ctx.seed,
         engine=ctx.engine,
+        precision=ctx.precision,
     )
 
 
@@ -847,7 +887,8 @@ def _adaptivity(ctx: ExperimentContext) -> FigureSeries:
     SIMULATED,
     engines=("vectorized", "event"),
     accepts={"engine", "duration", "seed", "scale", "shift_at", "window",
-             "workload", "replicates", "jobs", "store"},
+             "workload", "replicates", "jobs", "store", "precision",
+             "shared_memory"},
     duration=1200.0,
     seed=0,
     scale=SIMULATION_SCALE,
@@ -862,6 +903,8 @@ def _adaptivity_tracking(ctx: ExperimentContext) -> FigureSeries:
         engine=ctx.engine,
         workload=ctx.params.workload,
         jobs=ctx.jobs,
+        precision=ctx.precision,
+        shared_memory=ctx.shared_memory,
     )
 
 
@@ -871,7 +914,7 @@ def _adaptivity_tracking(ctx: ExperimentContext) -> FigureSeries:
     SIMULATED,
     engines=("vectorized", "event"),
     accepts={"engine", "duration", "seed", "scale", "shift_at", "window",
-             "workload", "jobs", "store"},
+             "workload", "jobs", "store", "precision", "shared_memory"},
     duration=1200.0,
     seed=0,
     scale=SIMULATION_SCALE,
@@ -886,6 +929,8 @@ def _adaptivity_lag(ctx: ExperimentContext) -> FigureSeries:
         engine=ctx.engine,
         workload=ctx.params.workload,
         jobs=ctx.jobs,
+        precision=ctx.precision,
+        shared_memory=ctx.shared_memory,
     )
 
 
@@ -895,7 +940,7 @@ def _adaptivity_lag(ctx: ExperimentContext) -> FigureSeries:
     SIMULATED,
     engines=("event", "vectorized"),
     accepts={"engine", "duration", "seed", "scale", "replicates", "jobs",
-             "store"},
+             "store", "precision", "shared_memory"},
     duration=240.0,
     seed=0,
     scale=SIMULATION_SCALE,
@@ -907,6 +952,8 @@ def _churn(ctx: ExperimentContext) -> FigureSeries:
         seed=ctx.seed,
         engine=ctx.engine,
         jobs=ctx.jobs,
+        precision=ctx.precision,
+        shared_memory=ctx.shared_memory,
     )
 
 
@@ -916,7 +963,7 @@ def _churn(ctx: ExperimentContext) -> FigureSeries:
     SIMULATED,
     engines=("event", "vectorized"),
     accepts={"engine", "duration", "seed", "scale", "replicates", "jobs",
-             "store"},
+             "store", "precision", "shared_memory"},
     duration=300.0,
     seed=0,
     scale=0.02,
@@ -928,6 +975,8 @@ def _staleness(ctx: ExperimentContext) -> FigureSeries:
         seed=ctx.seed,
         engine=ctx.engine,
         jobs=ctx.jobs,
+        precision=ctx.precision,
+        shared_memory=ctx.shared_memory,
     )
 
 
@@ -937,7 +986,7 @@ def _staleness(ctx: ExperimentContext) -> FigureSeries:
     SIMULATED,
     engines=("event", "vectorized"),
     accepts={"engine", "duration", "seed", "scale", "replicates", "jobs",
-             "store"},
+             "store", "precision", "shared_memory"},
     duration=120.0,
     seed=0,
     scale=0.02,
@@ -949,4 +998,6 @@ def _simfig1(ctx: ExperimentContext) -> FigureSeries:
         seed=ctx.seed,
         engine=ctx.engine,
         jobs=ctx.jobs,
+        precision=ctx.precision,
+        shared_memory=ctx.shared_memory,
     )

@@ -42,6 +42,7 @@ def _run_strategy(
     churn: Optional[ChurnConfig] = None,
     window: float = 0.0,
     engine: str = "event",
+    precision: Optional[str] = None,
 ) -> StrategyReport:
     """Run one strategy on the selected engine; reports are interchangeable.
 
@@ -63,11 +64,29 @@ def _run_strategy(
             seed=seed,
             churn=churn,
             window=window,
+            precision=precision,
         ).to_strategy_report()
+    _require_wide(precision)
     strategy = STRATEGY_CLASSES[name](
         params, config=config, seed=seed, churn=churn
     )
     return strategy.run(duration, window=window)
+
+
+def _require_wide(precision: Optional[str]) -> None:
+    """Reject non-wide dtype policies on paths with no kernel state.
+
+    The event engine has no batch arrays to narrow, so a ``slim`` request
+    there would silently run at full precision — surface the mismatch
+    instead of letting engine choice change what ``precision`` means.
+    """
+    from repro.fastsim.precision import resolve_precision
+
+    if resolve_precision(precision).name != "wide":
+        raise ParameterError(
+            "precision policies other than 'wide' require the vectorized "
+            "engine (the event engine has no kernel state arrays to slim)"
+        )
 
 __all__ = [
     "FigureSeries",
@@ -292,6 +311,8 @@ def simulation_comparison(
     dht_kind: str = "pgrid",
     engine: str = "event",
     jobs: int = 1,
+    precision: Optional[str] = None,
+    shared_memory: bool = False,
 ) -> FigureSeries:
     """Section 5.2: simulated strategies vs the analytical model.
 
@@ -309,16 +330,19 @@ def simulation_comparison(
     hit_rates: dict[str, float] = {}
     if resolve_engine(engine) == "vectorized" and jobs != 1:
         from repro.fastsim.parallel import FastSimJob, run_many
+        from repro.fastsim.precision import resolve_precision
 
         specs = [
             FastSimJob(
                 params=params, strategy=name, seed=seed,
                 duration=duration, config=config, churn=churn,
+                precision=resolve_precision(precision).name,
             )
             for name in STRATEGY_CLASSES
         ]
         for name, report in zip(
-            STRATEGY_CLASSES, run_many(specs, workers=jobs)
+            STRATEGY_CLASSES,
+            run_many(specs, workers=jobs, shared_memory=shared_memory),
         ):
             measured[name] = report.messages_per_second
             hit_rates[name] = report.hit_rate
@@ -326,7 +350,7 @@ def simulation_comparison(
         for name in STRATEGY_CLASSES:
             report = _run_strategy(
                 name, params, config, duration, seed=seed, churn=churn,
-                engine=engine,
+                engine=engine, precision=precision,
             )
             measured[name] = report.messages_per_second
             hit_rates[name] = report.hit_rate
@@ -367,6 +391,8 @@ def churn_experiment(
     availabilities: Sequence[float] = (1.0, 0.75, 0.5),
     engine: str = "event",
     jobs: int = 1,
+    precision: Optional[str] = None,
+    shared_memory: bool = False,
 ) -> FigureSeries:
     """Extension: the selection algorithm under increasing churn.
 
@@ -394,6 +420,7 @@ def churn_experiment(
     reports = []
     if resolve_engine(engine) == "vectorized" and jobs != 1:
         from repro.fastsim.parallel import FastSimJob, run_many
+        from repro.fastsim.precision import resolve_precision
 
         # One mean-session convention for figures, sweeps and the
         # cross-engine agreement checks alike.
@@ -401,17 +428,18 @@ def churn_experiment(
             FastSimJob(
                 params=params, seed=seed, duration=duration, config=config,
                 churn=churn_config_for_availability(availability),
+                precision=resolve_precision(precision).name,
             )
             for availability in availabilities
         ]
-        reports = run_many(specs, workers=jobs)
+        reports = run_many(specs, workers=jobs, shared_memory=shared_memory)
     else:
         for availability in availabilities:
             churn = churn_config_for_availability(availability)
             reports.append(
                 _run_strategy(
                     "partialSelection", params, config, duration, seed=seed,
-                    churn=churn, engine=engine,
+                    churn=churn, engine=engine, precision=precision,
                 )
             )
     rows_success = [report.success_rate for report in reports]
@@ -440,6 +468,8 @@ def simulated_figure1(
     seed: int = 0,
     engine: str = "event",
     jobs: int = 1,
+    precision: Optional[str] = None,
+    shared_memory: bool = False,
 ) -> FigureSeries:
     """Fig. 1 regenerated *in simulation* (reduced scale).
 
@@ -460,6 +490,7 @@ def simulated_figure1(
     }
     if resolve_engine(engine) == "vectorized" and jobs != 1:
         from repro.fastsim.parallel import FastSimJob, run_many
+        from repro.fastsim.precision import resolve_precision
 
         cells = [
             (freq, name) for freq in frequencies for name in series
@@ -471,10 +502,13 @@ def simulated_figure1(
                 seed=seed,
                 duration=duration,
                 config=PdhtConfig.from_scenario(params.with_query_freq(freq)),
+                precision=resolve_precision(precision).name,
             )
             for freq, name in cells
         ]
-        for (freq, name), report in zip(cells, run_many(specs, workers=jobs)):
+        for (freq, name), report in zip(
+            cells, run_many(specs, workers=jobs, shared_memory=shared_memory)
+        ):
             series[name].append(report.messages_per_second)
     else:
         for freq in frequencies:
@@ -482,7 +516,8 @@ def simulated_figure1(
             config = PdhtConfig.from_scenario(scenario)
             for name in series:
                 report = _run_strategy(
-                    name, scenario, config, duration, seed=seed, engine=engine
+                    name, scenario, config, duration, seed=seed,
+                    engine=engine, precision=precision,
                 )
                 series[name].append(report.messages_per_second)
     return FigureSeries(
@@ -505,6 +540,8 @@ def staleness_experiment(
     refresh_periods: Optional[Sequence[float]] = None,
     engine: str = "event",
     jobs: int = 1,
+    precision: Optional[str] = None,
+    shared_memory: bool = False,
 ) -> FigureSeries:
     """Extension: answer staleness without proactive updates.
 
@@ -551,6 +588,7 @@ def staleness_experiment(
     measured: dict[tuple[float, float], tuple[float, float]] = {}
     if vectorized and jobs != 1:
         from repro.fastsim.parallel import FastSimJob, run_many
+        from repro.fastsim.precision import resolve_precision
 
         specs = [
             FastSimJob(
@@ -561,19 +599,30 @@ def staleness_experiment(
                     base_ttl * factor
                 ),
                 content_refresh_period=period,
+                precision=resolve_precision(precision).name,
             )
             for period, factor in cells
         ]
-        for cell, report in zip(cells, run_many(specs, workers=jobs)):
+        for cell, report in zip(
+            cells, run_many(specs, workers=jobs, shared_memory=shared_memory)
+        ):
             measured[cell] = (report.stale_hit_fraction, report.hit_rate)
     else:
+        if not vectorized:
+            _require_wide(precision)
         for period, factor in cells:
             config = PdhtConfig.from_scenario(params).with_ttl(
                 base_ttl * factor
             )
-            measured[(period, factor)] = probe(
-                params, config, duration, period, seed
-            )
+            if vectorized:
+                measured[(period, factor)] = probe(
+                    params, config, duration, period, seed,
+                    precision=precision,
+                )
+            else:
+                measured[(period, factor)] = probe(
+                    params, config, duration, period, seed
+                )
     for period in periods:
         suffix = f" @ refresh {period:g}s" if sweeping_periods else ""
         series[f"stale hit fraction{suffix}"] = [
@@ -607,6 +656,7 @@ def adaptivity_experiment(
     window: float = 200.0,
     seed: int = 0,
     engine: str = "event",
+    precision: Optional[str] = None,
 ) -> FigureSeries:
     """Section 5.2 adaptivity: hit rate under a query-distribution shift.
 
@@ -641,8 +691,10 @@ def adaptivity_experiment(
             seed=seed,
             workload=workload,
             window=window,
+            precision=precision,
         ).to_strategy_report()
     else:
+        _require_wide(precision)
         strategy = PartialSelectionStrategy(params, config=config, seed=seed)
         workload = ShuffledZipfWorkload(
             zipf,
@@ -722,6 +774,8 @@ def _tracking_reports(
     engine: str,
     workload: Optional[str],
     jobs: int,
+    precision: Optional[str] = None,
+    shared_memory: bool = False,
 ):
     """Run selection + oracle across workload models; shared plumbing of
     :func:`adaptivity_tracking` and :func:`adaptivity_lag_table`.
@@ -764,6 +818,7 @@ def _tracking_reports(
     reports: dict[tuple[str, str], StrategyReport] = {}
     if resolve_engine(engine) == "vectorized":
         from repro.fastsim.parallel import FastSimJob, run_many
+        from repro.fastsim.precision import resolve_precision
 
         specs = [
             FastSimJob(
@@ -774,12 +829,16 @@ def _tracking_reports(
                 config=config,
                 workload=batch_workload(name),
                 window=window,
+                precision=resolve_precision(precision).name,
             )
             for name, strategy in cells
         ]
-        for cell, report in zip(cells, run_many(specs, workers=jobs)):
+        for cell, report in zip(
+            cells, run_many(specs, workers=jobs, shared_memory=shared_memory)
+        ):
             reports[cell] = report
     else:
+        _require_wide(precision)
         for name, strategy in cells:
             runner = STRATEGY_CLASSES[strategy](
                 params, config=config, seed=seed
@@ -800,6 +859,8 @@ def adaptivity_tracking(
     engine: str = "vectorized",
     workload: Optional[str] = None,
     jobs: int = 1,
+    precision: Optional[str] = None,
+    shared_memory: bool = False,
 ) -> FigureSeries:
     """Extension: how fast the selection strategy tracks each workload model.
 
@@ -820,7 +881,8 @@ def adaptivity_tracking(
     :func:`adaptivity_lag_table` (experiment ``adaptivity-lag``).
     """
     params, names, models, reports = _tracking_reports(
-        params, duration, window, shift_at, seed, engine, workload, jobs
+        params, duration, window, shift_at, seed, engine, workload, jobs,
+        precision=precision, shared_memory=shared_memory,
     )
     reference = reports[(names[0], "partialSelection")].hit_rate_series
     times = [f"{t:.0f}" for t, _ in reference]
@@ -862,6 +924,8 @@ def adaptivity_lag_table(
     engine: str = "vectorized",
     workload: Optional[str] = None,
     jobs: int = 1,
+    precision: Optional[str] = None,
+    shared_memory: bool = False,
 ) -> "TableSeries":
     """The per-model convergence-lag table, as structured data.
 
@@ -878,7 +942,8 @@ def adaptivity_lag_table(
     from repro.experiments.tables import TableSeries
 
     params, names, models, reports = _tracking_reports(
-        params, duration, window, shift_at, seed, engine, workload, jobs
+        params, duration, window, shift_at, seed, engine, workload, jobs,
+        precision=precision, shared_memory=shared_memory,
     )
     shifts: list[float] = []
     lags: list[float] = []

@@ -157,6 +157,8 @@ def sweep_grid(
     duration: float = 240.0,
     seed: int = 0,
     jobs: int = 1,
+    precision: Optional[str] = None,
+    shared_memory: bool = False,
 ) -> FigureSeries:
     """Run the selection algorithm over the full grid on the fast kernel.
 
@@ -176,17 +178,24 @@ def sweep_grid(
     that model's query stream (seeded per cell, so the grid stays
     deterministic for any ``jobs`` value); under churn the per-op
     calibration threads the model through (rank-permutation awareness).
+
+    ``precision`` selects the kernel's state dtype policy per cell
+    (part of each cell's artifact identity); ``shared_memory`` stages
+    large workload arrays into shared segments for the pool instead of
+    pickling them per worker (execution detail, identical results).
     """
     import numpy as np
 
     from repro.analysis.zipf import ZipfDistribution
     from repro.fastsim.compare import churn_config_for_availability
     from repro.fastsim.parallel import FastSimJob, run_many
+    from repro.fastsim.precision import resolve_precision
     from repro.pdht.config import PdhtConfig
     from repro.workloads import model_from_name
 
     axes = axes or GridAxes()
     scenario = scenario or paper_scenario()
+    precision_name = resolve_precision(precision).name
     if duration <= 0:
         raise ParameterError(f"duration must be > 0, got {duration}")
 
@@ -218,10 +227,13 @@ def sweep_grid(
                 config=config,
                 workload=workload,
                 churn=churn_config_for_availability(point.availability),
+                precision=precision_name,
             )
         )
     with obs.span("sweep.grid", cells=len(grid_jobs), jobs=jobs):
-        reports = run_many(grid_jobs, workers=jobs)
+        reports = run_many(
+            grid_jobs, workers=jobs, shared_memory=shared_memory
+        )
     if obs.enabled():
         # Per-cell timing from the reports themselves: this works for
         # any ``jobs`` value (pool workers already measured themselves)
@@ -325,11 +337,12 @@ def optimal_cells(grid: FigureSeries, axes: GridAxes) -> FigureSeries:
 
 
 #: Serialised default-axes grids, keyed by (scenario, duration, seed,
-#: workload) — deliberately *not* by jobs: the grid's values are
-#: identical for every worker count, so a jobs=4 run must be able to
-#: reuse a jobs=1 grid (and vice versa). Bounded FIFO, like the
-#: lru_cache it replaces.
-_GRID_CACHE: dict[tuple[ScenarioParameters, float, int, str], str] = {}
+#: workload, precision) — deliberately *not* by jobs or shared-memory
+#: mode: the grid's values are identical for every worker count and
+#: shipping mechanism, so a jobs=4 run must be able to reuse a jobs=1
+#: grid (and vice versa). Precision *is* in the key: slim cells are
+#: different results. Bounded FIFO, like the lru_cache it replaces.
+_GRID_CACHE: dict[tuple[ScenarioParameters, float, int, str, str], str] = {}
 _GRID_CACHE_SIZE = 4
 
 
@@ -347,21 +360,34 @@ def _default_grid_json(
     seed: int,
     jobs: int,
     workload: Optional[str],
+    precision: Optional[str] = None,
+    shared_memory: bool = False,
 ) -> str:
-    """One default-axes grid per (scenario, duration, seed, workload).
+    """One default-axes grid per (scenario, duration, seed, workload,
+    precision).
 
     ``sweep`` and ``sweep-optimal`` derive from the same expensive grid;
     caching the serialised form lets ``runner all`` pay for it once
     while every caller still gets a fresh, independently mutable
-    :class:`FigureSeries`. ``jobs`` only parallelises a cache miss.
+    :class:`FigureSeries`. ``jobs`` and ``shared_memory`` only affect
+    how a cache miss executes, never what it computes.
     """
-    key = (scenario, duration, seed, workload or "stationary")
+    from repro.fastsim.precision import resolve_precision
+
+    key = (
+        scenario,
+        duration,
+        seed,
+        workload or "stationary",
+        resolve_precision(precision).name,
+    )
     if key not in _GRID_CACHE:
         if len(_GRID_CACHE) >= _GRID_CACHE_SIZE:
             _GRID_CACHE.pop(next(iter(_GRID_CACHE)))
         _GRID_CACHE[key] = sweep_grid(
             _grid_axes(workload), scenario=scenario, duration=duration,
-            seed=seed, jobs=jobs,
+            seed=seed, jobs=jobs, precision=precision,
+            shared_memory=shared_memory,
         ).to_json()
     return _GRID_CACHE[key]
 
@@ -372,7 +398,7 @@ def _default_grid(ctx: ExperimentContext) -> FigureSeries:
     return load_figure_json(
         _default_grid_json(
             ctx.scenario, ctx.duration, ctx.seed, ctx.jobs,
-            ctx.params.workload,
+            ctx.params.workload, ctx.precision, ctx.shared_memory,
         )
     )
 
@@ -387,7 +413,7 @@ def _default_grid(ctx: ExperimentContext) -> FigureSeries:
         "only the vectorized batch kernel is tractable there"
     ),
     accepts={"engine", "duration", "seed", "scale", "workload",
-             "replicates", "jobs", "store"},
+             "replicates", "jobs", "store", "precision", "shared_memory"},
     duration=240.0,
     seed=0,
     scale=1.0,
@@ -406,7 +432,7 @@ def _sweep(ctx: ExperimentContext) -> FigureSeries:
         "batch kernel is tractable there"
     ),
     accepts={"engine", "duration", "seed", "scale", "workload",
-             "replicates", "jobs", "store"},
+             "replicates", "jobs", "store", "precision", "shared_memory"},
     duration=240.0,
     seed=0,
     scale=1.0,

@@ -30,7 +30,13 @@ numpy batch operations:
   checks (aggregates, churn cost, staleness fraction);
 * :mod:`repro.fastsim.parallel` — multi-process fan-out of independent
   kernel jobs (sweep cells, replicate seeds, one run per strategy) with
-  per-op costs resolved once in the parent.
+  per-op costs resolved once in the parent;
+* :mod:`repro.fastsim.precision` — state-array dtype policies
+  (``wide`` float64/int64 default, bit-identical to the pinned
+  captures; opt-in ``slim`` float32/uint32 for 10^7+ peer runs);
+* :mod:`repro.fastsim.shm` — shared-memory staging of large read-mostly
+  job arrays so pool workers map one copy instead of each unpickling
+  their own.
 
 Select it anywhere the experiment harness runs simulations via
 ``engine="vectorized"`` (see :mod:`repro.experiments.scenario`).
@@ -61,15 +67,25 @@ from repro.fastsim.kernel import (
     FastAdaptiveTtl,
     FastSimKernel,
     PerOpCosts,
+    default_batch_workload,
     run_fastsim,
 )
 from repro.fastsim.metrics import FastSimReport, WindowRecorder
 from repro.fastsim.parallel import (
     FastSimJob,
+    pack_jobs,
     resolve_jobs,
     resolve_worker_count,
     run_many,
 )
+from repro.fastsim.precision import (
+    PRECISION_NAMES,
+    SLIM,
+    WIDE,
+    StatePrecision,
+    resolve_precision,
+)
+from repro.fastsim.shm import ShmArena, SharedArrayRef, leaked_segments
 from repro.fastsim.state import FastSimState
 from repro.fastsim.workload import (
     BatchFlashCrowdWorkload,
@@ -93,9 +109,19 @@ __all__ = [
     "FastSimReport",
     "WindowRecorder",
     "FastSimJob",
+    "pack_jobs",
     "resolve_jobs",
     "resolve_worker_count",
     "run_many",
+    "StatePrecision",
+    "WIDE",
+    "SLIM",
+    "PRECISION_NAMES",
+    "resolve_precision",
+    "default_batch_workload",
+    "ShmArena",
+    "SharedArrayRef",
+    "leaked_segments",
     "EngineAgreement",
     "CALIBRATION_LIMIT",
     "calibrate_costs",

@@ -967,6 +967,7 @@ def compare_engines(
     costs: Optional[PerOpCosts] = None,
     calibration_seed: int = 0,
     model=None,
+    precision: Optional[str] = None,
 ) -> EngineAgreement:
     """Run the selection algorithm through both engines and compare.
 
@@ -975,6 +976,8 @@ def compare_engines(
     with costs calibrated off the same substrate (unless given).
     ``model`` swaps the stationary stream for a
     :class:`~repro.workloads.models.WorkloadModel` on both engines.
+    ``precision`` selects the kernel's state dtype policy — the slim
+    property tests re-verify the 5% agreement gates through it.
     """
     if not seeds:
         raise ParameterError("need at least one seed")
@@ -1001,6 +1004,7 @@ def compare_engines(
             seed=seed,
             workload=_batch_model_workload(params, seed, model),
             costs=costs,
+            precision=precision,
         )
         # Kernel construction included, like the event path above.
         agreement.fast_seconds += time.perf_counter() - started
@@ -1020,6 +1024,7 @@ def compare_engines_churn(
     churn_costs: Optional[ChurnOpCosts] = None,
     calibration_seed: int = 0,
     model=None,
+    precision: Optional[str] = None,
 ) -> EngineAgreement:
     """Run the selection algorithm under churn through both engines.
 
@@ -1085,6 +1090,7 @@ def compare_engines_churn(
             churn=churn,
             costs=costs,
             churn_costs=seed_churn_costs,
+            precision=precision,
         )
         agreement.fast_seconds += time.perf_counter() - started
         agreement.fast_hit_rates.append(fast_report.hit_rate)
@@ -1155,6 +1161,7 @@ def staleness_probe_fast(
     duration: float,
     refresh_period: float,
     seed: int = 0,
+    precision: Optional[str] = None,
 ) -> tuple[float, float]:
     """Kernel staleness measurement: ``(stale fraction, hit rate)``.
 
@@ -1167,6 +1174,7 @@ def staleness_probe_fast(
         duration=duration,
         seed=seed,
         content_refresh_period=refresh_period,
+        precision=precision,
     )
     return report.stale_hit_fraction, report.hit_rate
 

@@ -67,6 +67,7 @@ from repro.errors import ParameterError
 from repro.fastsim.churn import BatchChurnProcess
 from repro.fastsim.churncosts import ChurnOpCosts
 from repro.fastsim.metrics import FastSimReport, WindowRecorder
+from repro.fastsim.precision import StatePrecision, resolve_precision
 from repro.fastsim.state import FastSimState
 from repro.fastsim.workload import BatchWorkload, BatchZipfWorkload
 from repro.analysis.zipf import ZipfDistribution
@@ -81,6 +82,7 @@ __all__ = [
     "FastSimKernel",
     "run_fastsim",
     "strategy_setup",
+    "default_batch_workload",
 ]
 
 
@@ -90,6 +92,68 @@ __all__ = [
 #: so 10^7-peer runs keep bounded memory. Chunking does not change the
 #: RNG stream: consecutive draws concatenate bit-identically.
 DRAW_BLOCK = 1 << 22
+
+
+def _read_only(array: np.ndarray) -> np.ndarray:
+    array.flags.writeable = False
+    return array
+
+
+#: Shared zero-length sentinels for the empty-batch early exits. The hot
+#: paths only ever read the returned arrays (verified by every call
+#: site), so one immutable instance per dtype replaces a fresh
+#: allocation per round.
+_EMPTY_F8 = _read_only(np.zeros(0))
+_EMPTY_BOOL = _read_only(np.zeros(0, dtype=bool))
+_EMPTY_I8 = _read_only(np.empty(0, dtype=np.int64))
+
+
+class _RoundScratch:
+    """Reusable per-round scratch buffers, keyed by role.
+
+    The query hot paths need a handful of O(batch) temporaries every
+    round (liveness masks, resolution probabilities, uniform draws).
+    Allocating them afresh each round puts several transient blocks on
+    top of state at 10^7 peers; instead each role owns one buffer that
+    grows geometrically to the largest batch seen and is re-sliced per
+    call, so steady-state peak memory is state + one draw block.
+
+    A role is single-assignment within a round: callers must finish
+    consuming a view before requesting the same role again.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def get(self, role: str, count: int, dtype: object = np.float64) -> np.ndarray:
+        dtype = np.dtype(dtype)
+        buffer = self._buffers.get(role)
+        if buffer is None or buffer.size < count or buffer.dtype != dtype:
+            size = max(count, 2 * buffer.size) if buffer is not None else count
+            buffer = np.empty(size, dtype=dtype)
+            self._buffers[role] = buffer
+        return buffer[:count]
+
+
+def default_batch_workload(
+    params: ScenarioParameters,
+    seed: int,
+    zipf: Optional[ZipfDistribution] = None,
+) -> BatchZipfWorkload:
+    """The workload :class:`FastSimKernel` builds when given none.
+
+    Materialised from the kernel's own seed derivation (the workload
+    stream is child 1 of the master :class:`~numpy.random.SeedSequence`),
+    so a workload built here and handed to the kernel draws the exact
+    query stream the kernel would have drawn internally. The parallel
+    runner uses this to construct default workloads in the parent process
+    and ship their large arrays to workers by shared-memory handle.
+    """
+    seeds = np.random.SeedSequence(seed).spawn(5)
+    return BatchZipfWorkload(
+        zipf or ZipfDistribution(params.n_keys, params.alpha),
+        np.random.default_rng(seeds[1]),
+    )
 
 
 def strategy_setup(
@@ -304,6 +368,11 @@ class FastSimKernel:
         Refresh all content every this many rounds (bumps every key's
         payload version, like the Section 4 scenario's daily article
         replacement), driving the staleness measurement.
+    precision:
+        Dtype policy for the state arrays — a
+        :class:`~repro.fastsim.precision.StatePrecision`, its name
+        (``"wide"``/``"slim"``), or ``None`` for the default ``wide``
+        (bit-identical to the historical float64/int64 layout).
     """
 
     def __init__(
@@ -317,6 +386,7 @@ class FastSimKernel:
         costs: Optional[PerOpCosts] = None,
         churn_costs: Optional[ChurnOpCosts] = None,
         content_refresh_period: Optional[float] = None,
+        precision: str | StatePrecision | None = None,
     ) -> None:
         if strategy not in STRATEGIES:
             raise ParameterError(
@@ -325,6 +395,7 @@ class FastSimKernel:
         self.params = params
         self.config = config or PdhtConfig.from_scenario(params)
         self.strategy = strategy
+        self.precision = resolve_precision(precision)
 
         seeds = np.random.SeedSequence(seed).spawn(5)
         self._rng_counts = np.random.default_rng(seeds[0])
@@ -345,7 +416,9 @@ class FastSimKernel:
 
             costs = costs_for(params, self.config, num_members)
         self.costs = costs
-        self.state = FastSimState(params, num_members, self._rng_members)
+        self.state = FastSimState(
+            params, num_members, self._rng_members, precision=self.precision
+        )
         self.workload = workload or BatchZipfWorkload(
             ZipfDistribution(params.n_keys, params.alpha), self._rng_workload
         )
@@ -402,6 +475,23 @@ class FastSimKernel:
         self.on_round: list[Callable[["FastSimKernel", float], None]] = []
         self.now = 0.0
         self._update_debt = 0.0
+
+        # Streamed-loop buffers: per-role scratch for the round hot paths,
+        # draw buffers reused across blocks, and read-only all-ones
+        # sentinels for the no-churn resolution fast path. All grow to the
+        # largest batch seen and are then stable for the run.
+        self._scratch = _RoundScratch()
+        self._draw_ranks: Optional[np.ndarray] = None
+        self._draw_keys: Optional[np.ndarray] = None
+        self._ones_bool = _EMPTY_BOOL
+        self._ones_f8 = _EMPTY_F8
+
+    def _ones(self, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """Read-only all-ones ``(bool, float64)`` views of length ``count``."""
+        if self._ones_bool.size < count:
+            self._ones_bool = _read_only(np.ones(count, dtype=bool))
+            self._ones_f8 = _read_only(np.ones(count))
+        return self._ones_bool[:count], self._ones_f8[:count]
 
     # ------------------------------------------------------------------
     def set_key_ttl(self, key_ttl: float) -> None:
@@ -479,8 +569,18 @@ class FastSimKernel:
             block_hi = min(max(block_hi, block_lo + 1), rounds)
             if telemetry:
                 t0 = perf()
+            total = int(cumulative[block_hi - 1] - drawn)
+            if self._draw_ranks is None or self._draw_ranks.size < total:
+                # One pair of draw buffers for the whole run, sized to the
+                # largest block (~DRAW_BLOCK unless a single round
+                # exceeds it): the streamed loop never re-materialises
+                # the query stream.
+                self._draw_ranks = np.empty(total, dtype=np.int64)
+                self._draw_keys = np.empty(total, dtype=np.int64)
             block_ranks, block_keys, offsets = self.workload.draw_rounds(
-                start + block_lo, counts[block_lo:block_hi]
+                start + block_lo,
+                counts[block_lo:block_hi],
+                out=(self._draw_ranks, self._draw_keys),
             )
             if telemetry:
                 t_draw += perf() - t0
@@ -639,21 +739,37 @@ class FastSimKernel:
     ) -> int:
         """The Section 5.1 query path on one round's batch."""
         state = self.state
+        scratch = self._scratch
         count = keys.size
         self._charge_gateways(self._draw_origins(count), totals, report)
 
-        live = state.live_mask(keys, now)
+        # Liveness test in preallocated scratch (same strict > as
+        # state.live_mask, without the per-round temporaries).
+        expiries = np.take(
+            state.expires_at,
+            keys,
+            out=scratch.get("select.expiry", count, state.expires_at.dtype),
+        )
+        live = np.greater(expiries, now, out=scratch.get("select.live", count, bool))
         cc = self.churn_costs
         if cc is not None and cc.turnover_miss > 0.0:
             # Responsible-peer turnover: a query for a live key can still
             # miss when the entry sits behind offline members; the event
             # engine then walks and re-inserts it like any other miss.
-            demoted = live & (
-                self._rng_resolve.random(count) < cc.turnover_miss
+            # (live &= ~(live & (draw < t)) reduces to live &= draw >= t;
+            # the uniform draw itself is unchanged.)
+            draws = self._rng_resolve.random(
+                out=scratch.get("select.turnover", count, np.float64)
             )
-            live &= ~demoted
+            kept = np.greater_equal(
+                draws, cc.turnover_miss, out=scratch.get("select.kept", count, bool)
+            )
+            np.logical_and(live, kept, out=live)
+        not_live = np.logical_not(
+            live, out=scratch.get("select.notlive", count, bool)
+        )
         hit_keys = keys[live]
-        miss_keys = keys[~live]
+        miss_keys = keys[not_live]
         unique_miss, multiplicity = np.unique(miss_keys, return_counts=True)
 
         if self.key_ttl > 0:
@@ -697,7 +813,7 @@ class FastSimKernel:
             hits = unique_live.size
             report.stale_hits += state.stale_count(unique_live)
             miss_weights = multiplicity  # every occurrence misses
-            walk_events = np.ones(miss_events, dtype=np.int64)
+            walk_events = 1  # every miss-event walks exactly once
             walk_p = p_resolve
 
         # In both TTL regimes insertions == number of resolved broadcasts.
@@ -807,7 +923,7 @@ class FastSimKernel:
             )
         online = np.flatnonzero(self.state.online)
         if online.size == 0:
-            return np.empty(0, dtype=np.int64)
+            return _EMPTY_I8
         return online[self._rng_resolve.integers(0, online.size, size=count)]
 
     def _charge_gateways(
@@ -847,10 +963,12 @@ class FastSimKernel:
         charge walk costs in expectation.
         """
         if count == 0:
-            empty = np.zeros(0)
-            return empty.astype(bool), empty
+            return _EMPTY_BOOL, _EMPTY_F8
         if self.churn is None:
-            return np.ones(count, dtype=bool), np.ones(count)
+            # Every search resolves; serve read-only cached ones instead
+            # of two fresh allocations per round.
+            return self._ones(count)
+        scratch = self._scratch
         online_replicas = self.churn.replica_online_counts(
             count, self.config.replication, self._rng_resolve
         )
@@ -859,8 +977,21 @@ class FastSimKernel:
             if self.churn_costs is not None
             else 1.0
         )
-        p = np.where(online_replicas > 0, conditional, 0.0)
-        return self._rng_resolve.random(count) < p, p
+        # where(online > 0, c, 0.0) == (online > 0) * c exactly (True*c
+        # is c, False*c is +0.0), computed into per-role scratch.
+        some_online = np.greater(
+            online_replicas, 0, out=scratch.get("resolve.online", count, bool)
+        )
+        p = np.multiply(
+            some_online,
+            conditional,
+            out=scratch.get("resolve.p", count, np.float64),
+        )
+        draws = self._rng_resolve.random(
+            out=scratch.get("resolve.draws", count, np.float64)
+        )
+        mask = np.less(draws, p, out=scratch.get("resolve.mask", count, bool))
+        return mask, p
 
     def _charge_walks(
         self,
@@ -905,6 +1036,7 @@ def run_fastsim(
     churn_costs: Optional[ChurnOpCosts] = None,
     content_refresh_period: Optional[float] = None,
     window: float = 0.0,
+    precision: str | StatePrecision | None = None,
 ) -> FastSimReport:
     """Build a :class:`FastSimKernel` and run it — the one-call fast path."""
     kernel = FastSimKernel(
@@ -917,5 +1049,6 @@ def run_fastsim(
         costs=costs,
         churn_costs=churn_costs,
         content_refresh_period=content_refresh_period,
+        precision=precision,
     )
     return kernel.run(duration, window=window)

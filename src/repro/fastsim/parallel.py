@@ -33,9 +33,16 @@ from typing import Any, Optional, Sequence
 
 from repro import obs
 from repro.analysis.parameters import ScenarioParameters
+from repro.analysis.zipf import ZipfDistribution
 from repro.errors import ParameterError
+from repro.fastsim import shm
 from repro.fastsim.churncosts import ChurnOpCosts
-from repro.fastsim.kernel import PerOpCosts, run_fastsim, strategy_setup
+from repro.fastsim.kernel import (
+    PerOpCosts,
+    default_batch_workload,
+    run_fastsim,
+    strategy_setup,
+)
 from repro.fastsim.metrics import FastSimReport
 from repro.fastsim.workload import BatchWorkload
 from repro.net.churn import ChurnConfig
@@ -44,6 +51,7 @@ from repro.pdht.config import PdhtConfig
 __all__ = [
     "FastSimJob",
     "job_key",
+    "pack_jobs",
     "resolve_jobs",
     "resolve_worker_count",
     "run_many",
@@ -66,6 +74,9 @@ class FastSimJob:
     churn_costs: Optional[ChurnOpCosts] = None
     content_refresh_period: Optional[float] = None
     window: float = 0.0
+    #: State-array dtype policy name ("wide"/"slim"); part of the job's
+    #: artifact identity — slim reports are keyed apart from wide ones.
+    precision: str = "wide"
 
     def run(self) -> FastSimReport:
         """Execute this job in the current process."""
@@ -81,6 +92,7 @@ class FastSimJob:
             churn_costs=self.churn_costs,
             content_refresh_period=self.content_refresh_period,
             window=self.window,
+            precision=self.precision,
         )
 
 
@@ -152,9 +164,69 @@ def job_key(job: FastSimJob) -> str:
     return content_key("sweep_cell", {"job": job})
 
 
+def pack_jobs(
+    jobs: Sequence[FastSimJob], arena: "shm.ShmArena"
+) -> list[FastSimJob]:
+    """Stage every job's large workload arrays into shared memory.
+
+    Returns job copies whose workloads carry
+    :class:`~repro.fastsim.shm.SharedArrayRef` handles instead of the
+    big arrays (Zipf probability/cumulative tables, rank→key mappings,
+    trace streams); the originals are untouched. Jobs with no explicit
+    workload get the kernel's default stationary workload materialised
+    here — bit-identically, from the kernel's own seed derivation
+    (:func:`~repro.fastsim.kernel.default_batch_workload`) — so its
+    tables ship by handle too; the Zipf distribution and the identity
+    rank→key mapping are deduplicated across jobs sharing
+    ``(n_keys, alpha)``, one segment per distinct table.
+
+    Call only on *resolved* jobs, after :func:`job_key` has been taken:
+    packing is an execution detail and must never enter a job's artifact
+    identity.
+    """
+    zipfs: dict[tuple[int, float], ZipfDistribution] = {}
+    identities: dict[int, Any] = {}
+    packed: list[FastSimJob] = []
+    for job in jobs:
+        workload = job.workload
+        if workload is None:
+            cell = (job.params.n_keys, job.params.alpha)
+            zipf = zipfs.get(cell)
+            if zipf is None:
+                zipf = zipfs[cell] = ZipfDistribution(*cell)
+            workload = default_batch_workload(job.params, job.seed, zipf=zipf)
+            identity = identities.get(job.params.n_keys)
+            if identity is None:
+                identities[job.params.n_keys] = workload.rank_to_key
+            else:
+                # Same identity mapping for every stationary default
+                # workload of this key count -> one shared segment.
+                workload.rank_to_key = identity
+        packed.append(
+            replace(job, workload=shm.extract_arrays(workload, arena))
+        )
+    return packed
+
+
 def _run_job(job: FastSimJob) -> FastSimReport:
     """Worker entry point (module-level so it pickles under spawn)."""
     return job.run()
+
+
+def _run_shared_job(
+    payload: tuple[FastSimJob, bool],
+) -> tuple[FastSimReport, Optional[dict[str, Any]]]:
+    """Worker entry for shared-memory payloads: attach, then run.
+
+    The job arrives with :class:`~repro.fastsim.shm.SharedArrayRef`
+    placeholders where :func:`pack_jobs` staged arrays;
+    :func:`~repro.fastsim.shm.restore_arrays` maps the segments back in
+    as read-only views (cached per worker process, so a reused pool
+    worker attaches each segment once).
+    """
+    job, telemetry = payload
+    job = replace(job, workload=shm.restore_arrays(job.workload))
+    return _run_job_telemetry((job, telemetry))
 
 
 def _run_job_telemetry(
@@ -185,6 +257,7 @@ def run_many(
     jobs: Sequence[FastSimJob],
     workers: int = 1,
     store: Optional[Any] = None,
+    shared_memory: bool = False,
 ) -> list[FastSimReport]:
     """Run every job; reports return in job order.
 
@@ -194,6 +267,18 @@ def run_many(
     Costs are resolved in the parent first (:func:`resolve_jobs`) either
     way, so sequential and parallel execution charge identical costs and
     produce identical seeded reports.
+
+    ``shared_memory=True`` stages each pending job's large workload
+    arrays into ``multiprocessing.shared_memory`` segments
+    (:func:`pack_jobs`) that workers map read-only instead of receiving
+    by pickle — the per-job payload stays a handful of scalars at any
+    key count, and per-worker incremental memory drops to page-cache
+    mappings of one shared copy. Results are bit-identical to the
+    pickle path (gated by tests and the ``bench_fastsim`` shm record).
+    The segments live exactly as long as the pool: they are unlinked in
+    a ``finally`` even when a worker crashes. Purely an execution
+    detail — job artifact keys are computed before packing and do not
+    change. Ignored on the sequential path (nothing to ship).
 
     ``store`` (default: the process-wide active store, see
     :mod:`repro.store`) makes the fan-out *resumable*: each resolved
@@ -245,25 +330,37 @@ def run_many(
         if telemetry:
             obs.sample_peak_rss("worker")
         return reports  # type: ignore[return-value]
-    with obs.span(
-        "parallel.run_many",
-        jobs=len(resolved),
-        cached=len(resolved) - len(pending),
-        workers=min(workers, len(pending)),
-    ):
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(pending))
-        ) as pool:
-            outcomes = list(
-                pool.map(
-                    _run_job_telemetry,
-                    [(resolved[i], telemetry) for i in pending],
+    entry = _run_job_telemetry
+    shipped: list[FastSimJob] = [resolved[i] for i in pending]
+    arena: Optional[shm.ShmArena] = None
+    if shared_memory:
+        arena = shm.ShmArena()
+        shipped = pack_jobs(shipped, arena)
+        entry = _run_shared_job
+    try:
+        with obs.span(
+            "parallel.run_many",
+            jobs=len(resolved),
+            cached=len(resolved) - len(pending),
+            workers=min(workers, len(pending)),
+            shared_memory=bool(shared_memory),
+        ):
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending))
+            ) as pool:
+                outcomes = list(
+                    pool.map(
+                        entry,
+                        [(job, telemetry) for job in shipped],
+                    )
                 )
-            )
-        for index, (report, _) in zip(pending, outcomes):
-            _finish(index, report)
-        # Merge inside the span so worker spans re-root under it: the
-        # pooled profile nests exactly like the sequential one.
-        for _, snapshot in outcomes:
-            obs.merge_snapshot(snapshot)
+            for index, (report, _) in zip(pending, outcomes):
+                _finish(index, report)
+            # Merge inside the span so worker spans re-root under it: the
+            # pooled profile nests exactly like the sequential one.
+            for _, snapshot in outcomes:
+                obs.merge_snapshot(snapshot)
+    finally:
+        if arena is not None:
+            arena.close()
     return reports  # type: ignore[return-value]

@@ -1,0 +1,99 @@
+"""Dtype policies for the vectorized kernel's state arrays.
+
+At 10^7–10^8 peers the simulator's ceiling is memory bandwidth, not
+compute: ``FastSimState`` holds five O(n_keys) arrays plus three
+O(num_peers) masks, and every round streams through them. Halving the
+element width halves both the resident set and the bytes moved per
+round.
+
+Two policies are offered:
+
+``wide`` (the default)
+    float64 expiries, int64 counters — byte-for-byte the layout the
+    kernel has always used. Seeded results under ``wide`` are pinned
+    bit-identical to the captures in ``tests/fastsim/data``.
+
+``slim`` (opt-in, for 10^7+ runs)
+    float32 expiries, uint32 counters. Round indices are small integers
+    (a 10^5-round run is far below float32's 2^24 exact-integer range),
+    so expiry arithmetic stays exact for the common TTLs; the only
+    behavioural drift is sub-ULP tie-breaking on fractional TTLs, which
+    the 5% cross-engine agreement gates absorb (re-verified by
+    ``tests/properties/test_property_precision.py``). Counters are
+    event tallies bounded by total queries per key — far below 2^32.
+
+Peer masks stay ``bool`` (numpy's 1-byte bool is already minimal) and
+workload rank/key vectors stay int64: they index arrays directly and
+narrowing them would force casts on every fancy-indexing operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "StatePrecision",
+    "WIDE",
+    "SLIM",
+    "PRECISIONS",
+    "PRECISION_NAMES",
+    "resolve_precision",
+]
+
+
+@dataclass(frozen=True)
+class StatePrecision:
+    """One dtype policy: how wide the kernel's state arrays are.
+
+    ``float_dtype`` backs expiry clocks (``expires_at``); ``counter_dtype``
+    backs the per-key event tallies and version counters. Dtypes are kept
+    as strings so the policy is trivially picklable and canonical-JSON
+    reducible (it rides along inside ``FastSimJob`` artifact keys).
+    """
+
+    name: str
+    float_dtype: str
+    counter_dtype: str
+
+    @property
+    def np_float(self) -> np.dtype:
+        return np.dtype(self.float_dtype)
+
+    @property
+    def np_counter(self) -> np.dtype:
+        return np.dtype(self.counter_dtype)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+WIDE = StatePrecision(name="wide", float_dtype="float64", counter_dtype="int64")
+SLIM = StatePrecision(name="slim", float_dtype="float32", counter_dtype="uint32")
+
+PRECISIONS: dict[str, StatePrecision] = {p.name: p for p in (WIDE, SLIM)}
+PRECISION_NAMES: tuple[str, ...] = tuple(PRECISIONS)
+
+
+def resolve_precision(
+    precision: str | StatePrecision | None,
+) -> StatePrecision:
+    """Normalise a precision spec (name, policy, or None) to a policy.
+
+    ``None`` means "the default" (``wide``), so callers can thread an
+    optional parameter straight through without special-casing.
+    """
+    if precision is None:
+        return WIDE
+    if isinstance(precision, StatePrecision):
+        return precision
+    resolved = PRECISIONS.get(precision)
+    if resolved is None:
+        raise ParameterError(
+            f"unknown precision {precision!r}; "
+            f"expected one of {sorted(PRECISIONS)}"
+        )
+    return resolved

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.analysis.parameters import ScenarioParameters
 from repro.errors import ParameterError
+from repro.fastsim.precision import WIDE, StatePrecision
 
 __all__ = ["FastSimState"]
 
@@ -41,6 +42,9 @@ class FastSimState:
         for free, everyone else pays gateway discovery once.
     rng:
         Randomness for the member-subset draw.
+    precision:
+        Dtype policy for the expiry/counter arrays (``WIDE`` by
+        default, which is byte-for-byte the historical layout).
     """
 
     def __init__(
@@ -48,6 +52,7 @@ class FastSimState:
         params: ScenarioParameters,
         num_members: int,
         rng: np.random.Generator,
+        precision: StatePrecision = WIDE,
     ) -> None:
         if not 0 <= num_members <= params.num_peers:
             raise ParameterError(
@@ -56,27 +61,30 @@ class FastSimState:
             )
         self.params = params
         self.num_members = num_members
+        self.precision = precision
         n_keys, num_peers = params.n_keys, params.num_peers
+        float_dtype = precision.np_float
+        counter_dtype = precision.np_counter
 
         # --- per-key index plane --------------------------------------
         #: Latest expiry over a key's replicas; -inf = not indexed.
-        self.expires_at = np.full(n_keys, -np.inf, dtype=np.float64)
+        self.expires_at = np.full(n_keys, -np.inf, dtype=float_dtype)
         #: Whether a key ever entered the index (reinsertion accounting).
         self.ever_indexed = np.zeros(n_keys, dtype=bool)
-        self.key_hits = np.zeros(n_keys, dtype=np.int64)
-        self.key_misses = np.zeros(n_keys, dtype=np.int64)
-        self.key_insertions = np.zeros(n_keys, dtype=np.int64)
+        self.key_hits = np.zeros(n_keys, dtype=counter_dtype)
+        self.key_misses = np.zeros(n_keys, dtype=counter_dtype)
+        self.key_insertions = np.zeros(n_keys, dtype=counter_dtype)
 
         # --- per-key content plane ------------------------------------
         #: Version of the key's *content* replicas (bumped by owner
         #: updates / refreshes; the paper's Section 4 scenario replaces
         #: every article periodically).
-        self.payload_version = np.zeros(n_keys, dtype=np.int64)
+        self.payload_version = np.zeros(n_keys, dtype=counter_dtype)
         #: Version an index hit serves: the payload version captured when
         #: the entry was (re-)inserted after a broadcast search. Without
         #: proactive updates it lags ``payload_version`` — that lag is
         #: exactly what the staleness experiment measures.
-        self.indexed_version = np.zeros(n_keys, dtype=np.int64)
+        self.indexed_version = np.zeros(n_keys, dtype=counter_dtype)
 
         # --- per-peer plane -------------------------------------------
         self.online = np.ones(num_peers, dtype=bool)

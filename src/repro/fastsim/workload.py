@@ -106,7 +106,10 @@ class BatchWorkload(abc.ABC):
         return ranks, self.rank_to_key[ranks - 1]
 
     def draw_rounds(
-        self, start: float, counts: np.ndarray
+        self,
+        start: float,
+        counts: np.ndarray,
+        out: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Draw many consecutive rounds' batches in one or few RNG calls.
 
@@ -118,6 +121,13 @@ class BatchWorkload(abc.ABC):
         applied to each round and the RNG stream order are identical to
         the per-round path — seeded results stay bit-identical.
 
+        ``out``, when given, is an optional ``(ranks, keys)`` pair of
+        preallocated int64 buffers; if large enough, the batch is written
+        into (views of) them instead of fresh arrays, which lets the
+        kernel's streamed loop reuse one draw block for the whole run.
+        Buffers that are too small or mistyped are ignored — the call
+        then allocates exactly as before.
+
         Returns ``(ranks, keys, offsets)`` where
         ``ranks[offsets[i]:offsets[i + 1]]`` is round ``i``'s batch.
         """
@@ -127,8 +137,19 @@ class BatchWorkload(abc.ABC):
                 f"counts must be >= 0, got min {counts.min()}"
             )
         offsets = np.concatenate(([0], np.cumsum(counts)))
-        ranks = np.empty(int(offsets[-1]), dtype=np.int64)
-        keys = np.empty_like(ranks)
+        total = int(offsets[-1])
+        if (
+            out is not None
+            and out[0].size >= total
+            and out[1].size >= total
+            and out[0].dtype == np.int64
+            and out[1].dtype == np.int64
+        ):
+            ranks = out[0][:total]
+            keys = out[1][:total]
+        else:
+            ranks = np.empty(total, dtype=np.int64)
+            keys = np.empty_like(ranks)
 
         def flush(lo_round: int, hi_round: int) -> None:
             # Draw the segment [lo_round, hi_round) under the current
@@ -137,7 +158,8 @@ class BatchWorkload(abc.ABC):
             if hi > lo:
                 drawn = self.zipf.sample_ranks(self.rng, hi - lo)
                 ranks[lo:hi] = drawn
-                keys[lo:hi] = self.rank_to_key[drawn - 1]
+                np.subtract(drawn, 1, out=drawn)
+                np.take(self.rank_to_key, drawn, out=keys[lo:hi])
 
         n = counts.size
         segment_start = 0

@@ -68,7 +68,8 @@ ARTIFACT_SCHEMA_REVS: dict[str, int] = {
     "lookup_probe": 1,
     # One kernel run: a FastSimJob's FastSimReport (sweep cells, figure
     # strategy runs, replicate kernel runs — anything run_many executes).
-    "sweep_cell": 1,
+    # rev 2: FastSimJob gained the state-precision field (dtype policy).
+    "sweep_cell": 2,
     # One replicate seed's figure payload from api.run(replicates=N).
     "replicate": 1,
     # A full provenance-stamped ExperimentResult export.

@@ -161,7 +161,10 @@ class BatchTraceWorkload(BatchWorkload):
         )
         return self._ranks[lo:hi].copy(), self._keys[lo:hi].copy()
 
-    def draw_rounds(self, start: float, counts: np.ndarray):
+    def draw_rounds(self, start: float, counts: np.ndarray, out=None):
+        # ``out`` (the kernel's reusable draw buffers) is accepted for
+        # signature parity and ignored: replay slices the recorded
+        # stream, it never draws.
         counts = np.asarray(counts, dtype=np.int64)
         expected = self.fixed_counts(start, counts.size)
         if not np.array_equal(counts, expected):

@@ -180,6 +180,45 @@ class TestDrawRounds:
         assert ranks.size == keys.size == 0
         assert list(offsets) == [0]
 
+    def test_out_buffers_are_reused(self, zipf):
+        counts = np.array([3, 7, 5])
+        total = int(counts.sum())
+        buffers = (
+            np.empty(total + 10, dtype=np.int64),
+            np.empty(total + 10, dtype=np.int64),
+        )
+        fresh, _, _ = BatchZipfWorkload(zipf, _fresh_rng()).draw_rounds(
+            0.0, counts
+        )
+        ranks, keys, _ = BatchZipfWorkload(zipf, _fresh_rng()).draw_rounds(
+            0.0, counts, out=buffers
+        )
+        # Written into (views of) the caller's buffers, values identical
+        # to the allocating path.
+        assert ranks.base is buffers[0]
+        assert keys.base is buffers[1]
+        assert ranks.size == total
+        assert np.array_equal(ranks, fresh)
+
+    @pytest.mark.parametrize("bad", [
+        lambda n: (np.empty(n - 1, dtype=np.int64),
+                   np.empty(n, dtype=np.int64)),   # too small
+        lambda n: (np.empty(n, dtype=np.int32),
+                   np.empty(n, dtype=np.int64)),   # mistyped
+    ])
+    def test_unusable_out_buffers_are_ignored(self, zipf, bad):
+        counts = np.array([4, 6])
+        total = int(counts.sum())
+        buffers = bad(total)
+        ranks, keys, _ = BatchZipfWorkload(zipf, _fresh_rng()).draw_rounds(
+            0.0, counts, out=buffers
+        )
+        assert ranks.base is not buffers[0]
+        fresh, _, _ = BatchZipfWorkload(zipf, _fresh_rng()).draw_rounds(
+            0.0, counts
+        )
+        assert np.array_equal(ranks, fresh)
+
     def test_shift_pending_is_a_pure_peek(self, zipf):
         workload = BatchShuffledZipfWorkload(zipf, _fresh_rng(), shift_time=2.0)
         before = workload.rank_to_key.copy()

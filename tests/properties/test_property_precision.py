@@ -1,0 +1,56 @@
+"""Cross-engine agreement under the ``slim`` dtype policy (ISSUE 8).
+
+``slim`` halves the kernel's state arrays to float32/uint32 for 10^7+
+peer runs. The acceptance bar is the same one every kernel change
+answers to: seed-averaged hit rate AND total message cost within 5% of
+the event engine on the paper scenario — no-churn and churned alike. A
+policy that drifted past the bar (e.g. an expiry comparison losing
+precision) fails here, not at 10^7 peers where nothing cross-checks it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenario import simulation_scenario
+from repro.fastsim import compare_engines, compare_engines_churn
+
+SCALE = 0.02
+DURATION = 150.0
+SEEDS = (0, 1, 2)
+
+#: Matches tests/properties/test_property_fastsim.py: bounded walk TTL
+#: keeps the event engine's exhausted walks affordable inside tier-1.
+CHURN_DURATION = 300.0
+CHURN_WALK_TTL = 96
+
+
+def test_slim_agreement_within_five_percent():
+    params = simulation_scenario(scale=SCALE)
+    agreement = compare_engines(
+        params, duration=DURATION, seeds=SEEDS, precision="slim"
+    )
+    assert agreement.hit_rate_rel_diff <= 0.05, agreement.summary()
+    assert agreement.cost_rel_diff <= 0.05, agreement.summary()
+
+
+@pytest.mark.parametrize("availability", (0.9, 0.5))
+def test_slim_churn_agreement_within_five_percent(availability):
+    from dataclasses import replace
+
+    from repro.pdht.config import PdhtConfig
+
+    params = simulation_scenario(scale=SCALE)
+    config = replace(
+        PdhtConfig.from_scenario(params), walk_ttl=CHURN_WALK_TTL
+    )
+    agreement = compare_engines_churn(
+        params,
+        availability,
+        config=config,
+        duration=CHURN_DURATION,
+        seeds=SEEDS,
+        precision="slim",
+    )
+    assert agreement.hit_rate_rel_diff <= 0.05, agreement.summary()
+    assert agreement.cost_rel_diff <= 0.05, agreement.summary()
