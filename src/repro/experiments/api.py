@@ -30,12 +30,12 @@ The CLI (:mod:`repro.experiments.runner`) consumes only this registry::
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, fields as dataclass_fields, replace
 from pathlib import Path
 from typing import Callable, Iterator, Mapping, Optional
 
 from repro import obs
+from repro.obs.clock import perf_counter
 from repro.analysis.parameters import ScenarioParameters
 from repro.errors import CapabilityError, ParameterError
 from repro.experiments import figures, tables
@@ -74,6 +74,15 @@ KINDS = (ANALYTICAL, SIMULATED)
 # ----------------------------------------------------------------------
 # Typed parameters
 # ----------------------------------------------------------------------
+#: ExperimentParams fields that tune *how* a run executes without
+#: affecting *what* it computes (lint rule RL104). Each one is popped
+#: out of the replicate artifact key by :func:`_replicate_inputs`, so a
+#: cached result is reused no matter how many workers produced it or
+#: where it was stored. Adding a field here without popping it (or vice
+#: versa) is a lint failure.
+EXECUTION_ONLY = frozenset({"jobs", "store", "replicates", "shared_memory"})
+
+
 @dataclass(frozen=True)
 class ExperimentParams:
     """The typed parameter set an experiment can accept.
@@ -511,7 +520,7 @@ def run(name: str, **overrides: object) -> ExperimentResult:
         scenario=scenario,
         params=replace(merged, engine=engine),
     )
-    started = time.perf_counter()
+    started = perf_counter()
     telemetry: Optional[dict[str, object]] = None
     with _store_scope(merged.store):
         if obs.enabled():
@@ -530,7 +539,7 @@ def run(name: str, **overrides: object) -> ExperimentResult:
             telemetry = local.snapshot()
         else:
             figure, replication = _execute(spec, ctx, merged)
-    wall_clock = time.perf_counter() - started
+    wall_clock = perf_counter() - started
 
     import repro  # late: repro/__init__ imports this module at its end
 

@@ -16,6 +16,7 @@ import math
 
 import numpy as np
 
+from repro.fastsim.precision import INDEX_DTYPE
 from repro.net.churn import ChurnConfig
 
 __all__ = ["BatchChurnProcess"]
@@ -104,6 +105,6 @@ class BatchChurnProcess:
         mass departure immediately shows up as unresolvable searches.
         """
         if n == 0:
-            return np.zeros(0, dtype=np.int64)
+            return np.zeros(0, dtype=INDEX_DTYPE)
         fraction = min(max(self.online_fraction, 0.0), 1.0)
         return rng.binomial(replication, fraction, size=n)

@@ -44,6 +44,7 @@ import numpy as np
 from repro.analysis.costs import c_search_index
 from repro.analysis.parameters import ScenarioParameters
 from repro.errors import ParameterError
+from repro.fastsim.precision import INDEX_DTYPE
 from repro.pdht.config import PdhtConfig
 
 __all__ = [
@@ -107,11 +108,11 @@ def _overlay_sample(
     links by construction, for any ``num_peers``/``degree`` parity. The
     rare parallel edges across slots are harmless for cost estimation.
     """
-    neighbors = np.empty((num_peers, degree), dtype=np.int64)
+    neighbors = np.empty((num_peers, degree), dtype=INDEX_DTYPE)
     half = num_peers // 2
     for slot in range(degree):
         perm = rng.permutation(num_peers)
-        partner = np.empty(num_peers, dtype=np.int64)
+        partner = np.empty(num_peers, dtype=INDEX_DTYPE)
         partner[perm[:half]] = perm[half : 2 * half]
         partner[perm[half : 2 * half]] = perm[:half]
         if num_peers % 2:
@@ -169,7 +170,7 @@ def structural_walk_costs(
         found = holder_of[np.arange(per_group), origins]  # origin holds it
         pos = np.tile(origins[:, None], (1, walkers))
         alive = np.ones((per_group, walkers), dtype=bool)
-        messages = np.zeros(per_group, dtype=np.int64)
+        messages = np.zeros(per_group, dtype=INDEX_DTYPE)
         for _step in range(walk_ttl):
             act = alive & ~found[:, None]
             if not act.any():

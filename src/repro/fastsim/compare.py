@@ -25,13 +25,13 @@ wrappers around the ``compare_engines*`` family.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, replace as dc_replace
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro import obs
+from repro.obs.clock import perf_counter
 from repro.analysis.costs import c_search_index
 from repro.analysis.parameters import ScenarioParameters
 from repro.analysis.zipf import ZipfDistribution
@@ -988,15 +988,15 @@ def compare_engines(
         params=params, duration=duration, seeds=tuple(seeds)
     )
     for seed in seeds:
-        started = time.perf_counter()
+        started = perf_counter()
         event_report = _event_model_strategy(
             params, config, seed, model
         ).run(duration)
-        agreement.event_seconds += time.perf_counter() - started
+        agreement.event_seconds += perf_counter() - started
         agreement.event_hit_rates.append(event_report.hit_rate)
         agreement.event_costs.append(event_report.total_messages)
 
-        started = time.perf_counter()
+        started = perf_counter()
         fast_report = run_fastsim(
             params,
             config=config,
@@ -1007,7 +1007,7 @@ def compare_engines(
             precision=precision,
         )
         # Kernel construction included, like the event path above.
-        agreement.fast_seconds += time.perf_counter() - started
+        agreement.fast_seconds += perf_counter() - started
         agreement.fast_hit_rates.append(fast_report.hit_rate)
         agreement.fast_costs.append(fast_report.total_messages)
     return agreement
@@ -1064,11 +1064,11 @@ def compare_engines_churn(
         availability=availability,
     )
     for seed in seeds:
-        started = time.perf_counter()
+        started = perf_counter()
         event_report = _event_model_strategy(
             params, config, seed, model, churn=churn
         ).run(duration)
-        agreement.event_seconds += time.perf_counter() - started
+        agreement.event_seconds += perf_counter() - started
         agreement.event_hit_rates.append(event_report.hit_rate)
         agreement.event_costs.append(event_report.total_messages)
 
@@ -1080,7 +1080,7 @@ def compare_engines_churn(
             params, config, costs.num_active_peers, churn, costs, seed=seed,
             model=model.calibration_model if model is not None else None,
         )
-        started = time.perf_counter()
+        started = perf_counter()
         fast_report = run_fastsim(
             params,
             config=config,
@@ -1092,7 +1092,7 @@ def compare_engines_churn(
             churn_costs=seed_churn_costs,
             precision=precision,
         )
-        agreement.fast_seconds += time.perf_counter() - started
+        agreement.fast_seconds += perf_counter() - started
         agreement.fast_hit_rates.append(fast_report.hit_rate)
         agreement.fast_costs.append(fast_report.total_messages)
     return agreement
@@ -1202,19 +1202,19 @@ def compare_engines_staleness(
         params=params, duration=duration, seeds=tuple(seeds)
     )
     for seed in seeds:
-        started = time.perf_counter()
+        started = perf_counter()
         stale, hit_rate = staleness_probe_event(
             params, config, duration, refresh_period, seed=seed
         )
-        agreement.event_seconds += time.perf_counter() - started
+        agreement.event_seconds += perf_counter() - started
         agreement.event_staleness.append(stale)
         agreement.event_hit_rates.append(hit_rate)
 
-        started = time.perf_counter()
+        started = perf_counter()
         stale, hit_rate = staleness_probe_fast(
             params, config, duration, refresh_period, seed=seed
         )
-        agreement.fast_seconds += time.perf_counter() - started
+        agreement.fast_seconds += perf_counter() - started
         agreement.fast_staleness.append(stale)
         agreement.fast_hit_rates.append(hit_rate)
     return agreement

@@ -52,13 +52,13 @@ into :attr:`FastSimReport.stale_hits` — the same staleness distribution
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np
 
 from repro import obs
+from repro.obs.clock import perf_counter
 from repro.analysis.costs import c_search_index, c_search_unstructured
 from repro.analysis.parameters import ScenarioParameters
 from repro.analysis.selection_model import SelectionModel
@@ -67,7 +67,12 @@ from repro.errors import ParameterError
 from repro.fastsim.churn import BatchChurnProcess
 from repro.fastsim.churncosts import ChurnOpCosts
 from repro.fastsim.metrics import FastSimReport, WindowRecorder
-from repro.fastsim.precision import StatePrecision, resolve_precision
+from repro.fastsim.precision import (
+    INDEX_DTYPE,
+    PROB_DTYPE,
+    StatePrecision,
+    resolve_precision,
+)
 from repro.fastsim.state import FastSimState
 from repro.fastsim.workload import BatchWorkload, BatchZipfWorkload
 from repro.analysis.zipf import ZipfDistribution
@@ -105,7 +110,7 @@ def _read_only(array: np.ndarray) -> np.ndarray:
 #: allocation per round.
 _EMPTY_F8 = _read_only(np.zeros(0))
 _EMPTY_BOOL = _read_only(np.zeros(0, dtype=bool))
-_EMPTY_I8 = _read_only(np.empty(0, dtype=np.int64))
+_EMPTY_I8 = _read_only(np.empty(0, dtype=INDEX_DTYPE))
 
 
 class _RoundScratch:
@@ -125,7 +130,7 @@ class _RoundScratch:
     def __init__(self) -> None:
         self._buffers: dict[str, np.ndarray] = {}
 
-    def get(self, role: str, count: int, dtype: object = np.float64) -> np.ndarray:
+    def get(self, role: str, count: int, dtype: object = PROB_DTYPE) -> np.ndarray:
         dtype = np.dtype(dtype)
         buffer = self._buffers.get(role)
         if buffer is None or buffer.size < count or buffer.dtype != dtype:
@@ -516,13 +521,13 @@ class FastSimKernel:
             raise ParameterError(
                 f"duration must be a whole number of rounds, got {duration}"
             )
-        started = time.perf_counter()
+        started = perf_counter()
         # Telemetry is sampled into local floats and reported once after
         # the loop: one boolean check per phase per round when disabled,
         # no RNG interaction ever (seeded results stay bit-identical with
         # telemetry on or off).
         telemetry = obs.enabled()
-        perf = time.perf_counter
+        perf = perf_counter
         t_draw = t_maintain = t_queries = t_post = 0.0
         draw_blocks = 0
         report = FastSimReport(
@@ -575,8 +580,8 @@ class FastSimKernel:
                 # largest block (~DRAW_BLOCK unless a single round
                 # exceeds it): the streamed loop never re-materialises
                 # the query stream.
-                self._draw_ranks = np.empty(total, dtype=np.int64)
-                self._draw_keys = np.empty(total, dtype=np.int64)
+                self._draw_ranks = np.empty(total, dtype=INDEX_DTYPE)
+                self._draw_keys = np.empty(total, dtype=INDEX_DTYPE)
             block_ranks, block_keys, offsets = self.workload.draw_rounds(
                 start + block_lo,
                 counts[block_lo:block_hi],
@@ -654,7 +659,7 @@ class FastSimKernel:
         else:
             report.mean_index_size = float(report.final_index_size)
         report.key_ttl = self.key_ttl
-        report.elapsed_seconds = time.perf_counter() - started
+        report.elapsed_seconds = perf_counter() - started
         if telemetry:
             # Phases carry slash-joined names so they nest under
             # kernel.run in the profile tree (and under any enclosing
@@ -759,7 +764,7 @@ class FastSimKernel:
             # (live &= ~(live & (draw < t)) reduces to live &= draw >= t;
             # the uniform draw itself is unchanged.)
             draws = self._rng_resolve.random(
-                out=scratch.get("select.turnover", count, np.float64)
+                out=scratch.get("select.turnover", count, PROB_DTYPE)
             )
             kept = np.greater_equal(
                 draws, cc.turnover_miss, out=scratch.get("select.kept", count, bool)
@@ -985,10 +990,10 @@ class FastSimKernel:
         p = np.multiply(
             some_online,
             conditional,
-            out=scratch.get("resolve.p", count, np.float64),
+            out=scratch.get("resolve.p", count, PROB_DTYPE),
         )
         draws = self._rng_resolve.random(
-            out=scratch.get("resolve.draws", count, np.float64)
+            out=scratch.get("resolve.draws", count, PROB_DTYPE)
         )
         mask = np.less(draws, p, out=scratch.get("resolve.mask", count, bool))
         return mask, p

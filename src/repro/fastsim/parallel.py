@@ -58,6 +58,14 @@ __all__ = [
 ]
 
 
+#: FastSimJob fields that are execution details rather than identity
+#: (lint rule RL104). Empty on purpose: the job *is* the artifact key —
+#: :func:`job_key` hashes the whole dataclass, so every field must
+#: affect the result. Parallelism knobs (worker counts, shared-memory
+#: toggles) live outside the job, in :func:`run_many`'s arguments.
+EXECUTION_ONLY: frozenset[str] = frozenset()
+
+
 @dataclass(frozen=True)
 class FastSimJob:
     """One picklable kernel run: the arguments of

@@ -37,12 +37,32 @@ from repro.errors import ParameterError
 
 __all__ = [
     "StatePrecision",
+    "INDEX_DTYPE",
+    "PROB_DTYPE",
     "WIDE",
     "SLIM",
     "PRECISIONS",
     "PRECISION_NAMES",
     "resolve_precision",
 ]
+
+# ---------------------------------------------------------------------
+# Precision-independent dtypes. This module is the only fastsim file
+# allowed to name concrete dtypes (lint rule RL103); everything outside
+# the StatePrecision policies routes through these two constants.
+# ---------------------------------------------------------------------
+
+#: Dtype of the draw pipeline's rank/key index vectors (and any other
+#: array used for fancy indexing). Deliberately *not* part of the
+#: wide/slim policy: narrowing an index dtype forces a cast on every
+#: fancy-indexing operation, which costs more than the memory saves.
+INDEX_DTYPE = np.dtype(np.int64)
+
+#: Dtype of probability/draw intermediates (uniform draws, resolution
+#: probabilities, turnover thresholds). Stays float64 under every
+#: policy: the Zipf tables and RNG draw path are float64, and slimming
+#: the comparisons against them would shift seeded tie-breaks.
+PROB_DTYPE = np.dtype(np.float64)
 
 
 @dataclass(frozen=True)

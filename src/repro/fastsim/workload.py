@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.analysis.zipf import ZipfDistribution
 from repro.errors import ParameterError
+from repro.fastsim.precision import INDEX_DTYPE
 
 __all__ = [
     "BatchWorkload",
@@ -131,7 +132,7 @@ class BatchWorkload(abc.ABC):
         Returns ``(ranks, keys, offsets)`` where
         ``ranks[offsets[i]:offsets[i + 1]]`` is round ``i``'s batch.
         """
-        counts = np.asarray(counts, dtype=np.int64)
+        counts = np.asarray(counts, dtype=INDEX_DTYPE)
         if counts.size and counts.min() < 0:
             raise ParameterError(
                 f"counts must be >= 0, got min {counts.min()}"
@@ -142,13 +143,13 @@ class BatchWorkload(abc.ABC):
             out is not None
             and out[0].size >= total
             and out[1].size >= total
-            and out[0].dtype == np.int64
-            and out[1].dtype == np.int64
+            and out[0].dtype == INDEX_DTYPE
+            and out[1].dtype == INDEX_DTYPE
         ):
             ranks = out[0][:total]
             keys = out[1][:total]
         else:
-            ranks = np.empty(total, dtype=np.int64)
+            ranks = np.empty(total, dtype=INDEX_DTYPE)
             keys = np.empty_like(ranks)
 
         def flush(lo_round: int, hi_round: int) -> None:

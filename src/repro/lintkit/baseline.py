@@ -1,0 +1,162 @@
+"""Grandfathered findings: the committed lint baseline.
+
+A baseline lets the gate land before the last finding is fixed — but
+only *existing* findings ride: anything new always fails, and a
+baseline entry whose finding disappeared ("stale") fails too, so the
+file can only shrink. Entries match on a content fingerprint
+(rule + path + the stripped source line + an occurrence index), not on
+line numbers, so unrelated edits above a grandfathered line don't churn
+the baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.lintkit.engine import Finding
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "DEFAULT_BASELINE",
+    "Baseline",
+    "BaselineComparison",
+    "fingerprint_findings",
+]
+
+BASELINE_SCHEMA = 1
+
+#: Conventional location, relative to the lint root (the repo root).
+DEFAULT_BASELINE = "lintkit-baseline.json"
+
+
+def _fingerprint(rule: str, path: str, text: str, occurrence: int) -> str:
+    digest = hashlib.sha256(
+        f"{rule}|{path}|{text}|{occurrence}".encode("utf-8")
+    )
+    return digest.hexdigest()[:20]
+
+
+def fingerprint_findings(
+    findings: Iterable[Finding], line_text: dict[tuple[str, int], str]
+) -> list[tuple[Finding, str]]:
+    """Pair each finding with its stable fingerprint.
+
+    ``line_text`` maps ``(path, line)`` to the stripped source line;
+    duplicate (rule, path, text) triples are disambiguated by an
+    occurrence counter in source order, so two identical violations on
+    identical lines baseline independently.
+    """
+    seen: dict[tuple[str, str, str], int] = {}
+    pairs: list[tuple[Finding, str]] = []
+    for finding in findings:
+        text = line_text.get((finding.path, finding.line), "")
+        key = (finding.rule, finding.path, text)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        pairs.append(
+            (finding, _fingerprint(finding.rule, finding.path, text, occurrence))
+        )
+    return pairs
+
+
+@dataclass
+class BaselineComparison:
+    """The verdict of findings vs baseline."""
+
+    #: Findings not in the baseline — always failures.
+    new: list[Finding]
+    #: Findings matched by a baseline entry — reported, not failing.
+    grandfathered: list[Finding]
+    #: Baseline entries whose finding no longer exists — failures too
+    #: (regenerate the baseline so it only ever shrinks).
+    stale: list[dict[str, object]]
+
+    @property
+    def clean(self) -> bool:
+        return not self.new and not self.stale
+
+
+class Baseline:
+    """A set of grandfathered finding fingerprints, (de)serialisable."""
+
+    def __init__(self, entries: Optional[list[dict[str, object]]] = None):
+        self.entries: list[dict[str, object]] = list(entries or [])
+
+    @property
+    def fingerprints(self) -> set[str]:
+        return {str(entry["fingerprint"]) for entry in self.entries}
+
+    # -- io ------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("schema") != BASELINE_SCHEMA:
+            raise ValueError(
+                f"baseline {path!r} has schema {payload.get('schema')!r}; "
+                f"this lintkit understands {BASELINE_SCHEMA}"
+            )
+        return cls(payload.get("entries", []))
+
+    def dump(self) -> str:
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "entries": sorted(
+                self.entries,
+                key=lambda e: (e["path"], e["line"], e["rule"]),
+            ),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.dump())
+
+    # -- construction / comparison --------------------------------------
+    @classmethod
+    def from_findings(
+        cls,
+        findings: Iterable[Finding],
+        line_text: dict[tuple[str, int], str],
+    ) -> "Baseline":
+        entries = [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "text": line_text.get((finding.path, finding.line), ""),
+                "message": finding.message,
+                "fingerprint": fingerprint,
+            }
+            for finding, fingerprint in fingerprint_findings(
+                findings, line_text
+            )
+        ]
+        return cls(entries)
+
+    def compare(
+        self,
+        findings: Iterable[Finding],
+        line_text: dict[tuple[str, int], str],
+    ) -> BaselineComparison:
+        known = self.fingerprints
+        new: list[Finding] = []
+        grandfathered: list[Finding] = []
+        matched: set[str] = set()
+        for finding, fingerprint in fingerprint_findings(findings, line_text):
+            if fingerprint in known:
+                matched.add(fingerprint)
+                grandfathered.append(finding)
+            else:
+                new.append(finding)
+        stale = [
+            entry
+            for entry in self.entries
+            if str(entry["fingerprint"]) not in matched
+        ]
+        return BaselineComparison(
+            new=new, grandfathered=grandfathered, stale=stale
+        )

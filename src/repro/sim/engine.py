@@ -17,11 +17,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro import obs
+from repro.obs.clock import perf_counter
 from repro.errors import SimulationError
 
 __all__ = ["Event", "Simulation"]
@@ -157,7 +157,7 @@ class Simulation:
         self._running = True
         # Telemetry never touches the event order or the clock; the
         # dispatch loop itself is unchanged whether it is on or off.
-        started = time.perf_counter() if obs.enabled() else None
+        started = perf_counter() if obs.enabled() else None
         processed_here = 0
         try:
             while self._queue and self._queue[0].time <= until:
@@ -176,7 +176,7 @@ class Simulation:
         finally:
             self._running = False
             if started is not None:
-                obs.add_duration("engine.run", time.perf_counter() - started)
+                obs.add_duration("engine.run", perf_counter() - started)
                 obs.count("engine.events", processed_here)
 
     def step(self) -> bool:

@@ -15,12 +15,12 @@ choice).
 
 from __future__ import annotations
 
-import datetime as _dt
 import os
 import sqlite3
 import threading
 from typing import Iterator, Optional
 
+from repro.obs.clock import utc_now_iso
 from repro.store import schema as _schema
 
 __all__ = ["Database"]
@@ -29,7 +29,7 @@ _BUSY_TIMEOUT_MS = 10_000
 
 
 def _utcnow() -> str:
-    return _dt.datetime.now(_dt.timezone.utc).isoformat(timespec="seconds")
+    return utc_now_iso()
 
 
 class Database:

@@ -1,0 +1,117 @@
+"""Baseline round-trips: add, stay clean under edits, detect staleness."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lintkit import Baseline, lint_sources
+from repro.lintkit.baseline import BASELINE_SCHEMA, fingerprint_findings
+
+PATH = "src/repro/analysis/example.py"
+
+DIRTY = textwrap.dedent(
+    """
+    import numpy as np
+
+    values = np.random.normal(size=8)
+    """
+)
+
+
+def line_text_map(sources):
+    return {
+        (path, number): line.strip()
+        for path, source in sources.items()
+        for number, line in enumerate(source.splitlines(), start=1)
+    }
+
+
+def lint(sources):
+    return lint_sources(sources), line_text_map(sources)
+
+
+class TestRoundTrip:
+    def test_baselined_finding_is_grandfathered_not_new(self):
+        findings, text = lint({PATH: DIRTY})
+        assert len(findings) == 1
+        baseline = Baseline.from_findings(findings, text)
+
+        comparison = baseline.compare(findings, text)
+        assert comparison.clean
+        assert comparison.new == []
+        assert [f.rule for f in comparison.grandfathered] == ["RL102"]
+        assert comparison.stale == []
+
+    def test_save_load_round_trips(self, tmp_path):
+        findings, text = lint({PATH: DIRTY})
+        baseline = Baseline.from_findings(findings, text)
+        target = tmp_path / "baseline.json"
+        baseline.save(str(target))
+
+        loaded = Baseline.load(str(target))
+        assert loaded.fingerprints == baseline.fingerprints
+        assert loaded.compare(findings, text).clean
+
+    def test_new_finding_fails_despite_baseline(self):
+        findings, text = lint({PATH: DIRTY})
+        baseline = Baseline.from_findings(findings, text)
+
+        dirtier = DIRTY + "more = np.random.random()\n"
+        findings2, text2 = lint({PATH: dirtier})
+        comparison = baseline.compare(findings2, text2)
+        assert not comparison.clean
+        assert len(comparison.new) == 1
+        assert "np.random.random" in text2[
+            (comparison.new[0].path, comparison.new[0].line)
+        ]
+
+    def test_fixed_finding_leaves_a_stale_entry(self):
+        findings, text = lint({PATH: DIRTY})
+        baseline = Baseline.from_findings(findings, text)
+
+        clean_findings, clean_text = lint({PATH: "values = [0.0] * 8\n"})
+        assert clean_findings == []
+        comparison = baseline.compare(clean_findings, clean_text)
+        assert not comparison.clean
+        assert len(comparison.stale) == 1
+        assert comparison.stale[0]["rule"] == "RL102"
+
+
+class TestFingerprints:
+    def test_fingerprint_survives_line_moves(self):
+        findings, text = lint({PATH: DIRTY})
+        baseline = Baseline.from_findings(findings, text)
+
+        shifted = "# a new leading comment\n\n" + DIRTY
+        findings2, text2 = lint({PATH: shifted})
+        assert findings2[0].line != findings[0].line
+        assert baseline.compare(findings2, text2).clean
+
+    def test_identical_lines_baseline_independently(self):
+        doubled = DIRTY + "values = np.random.normal(size=8)\n"
+        findings, text = lint({PATH: doubled})
+        assert len(findings) == 2
+        pairs = fingerprint_findings(findings, text)
+        assert pairs[0][1] != pairs[1][1]
+
+        # baselining only the first occurrence leaves the second failing
+        baseline = Baseline.from_findings(findings[:1], text)
+        comparison = baseline.compare(findings, text)
+        assert len(comparison.new) == 1
+        assert len(comparison.grandfathered) == 1
+
+
+class TestSchema:
+    def test_unknown_schema_is_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(
+            '{"schema": %d, "entries": []}' % (BASELINE_SCHEMA + 1)
+        )
+        with pytest.raises(ValueError, match="schema"):
+            Baseline.load(str(target))
+
+    def test_empty_baseline_is_clean_against_no_findings(self):
+        comparison = Baseline().compare([], {})
+        assert comparison.clean
