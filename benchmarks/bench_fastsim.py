@@ -428,6 +428,96 @@ def _obs_overhead_record() -> dict[str, object]:
     }
 
 
+#: Recorder-enabled wall-clock may exceed the plain-telemetry run by at
+#: most this factor at the 100k-peer kernel scenario: streaming events
+#: to a JSONL sink must cost no more over enabled collection than
+#: enabled collection costs over disabled.
+LIVE_OVERHEAD_CEILING = 1.02
+
+
+def _live_overhead_record() -> dict[str, object]:
+    """Flight-recorder cost and result parity at the 100k-peer scenario.
+
+    Same protocol as :func:`_obs_overhead_record`, one layer up: best-of-3
+    with collection enabled but no event sink, against best-of-3 with
+    collection enabled *and* a :class:`JsonlSink` recording to a
+    tempfile — the full live pipeline (span/counter events, kernel round
+    heartbeats, per-event flush). Reports must stay bit-identical: the
+    recorder only observes, never touches an RNG stream.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.obs import events
+    from repro.experiments.scenario import fastsim_scenario
+
+    scenario = fastsim_scenario(scale=5.0)
+    duration = 1200.0
+    was_enabled = obs.enabled()
+
+    def best_of_three(record_dir: str | None):
+        seconds = []
+        report = None
+        event_count = 0
+        for attempt in range(3):
+            previous = obs.set_collector(obs.Collector())
+            sink = None
+            if record_dir is not None:
+                sink = events.JsonlSink(
+                    Path(record_dir) / f"events-{attempt}.jsonl"
+                )
+            previous_sink = events.set_sink(sink)
+            obs.enable()
+            try:
+                report = run_fastsim(scenario, duration=duration, seed=0)
+            finally:
+                obs.disable()
+                obs.set_collector(previous)
+                events.set_sink(previous_sink)
+                if sink is not None:
+                    sink.close()
+                    event_count = sum(
+                        1 for _ in open(sink.path, encoding="utf-8")
+                    )
+            seconds.append(report.elapsed_seconds)
+        return min(seconds), report, event_count
+
+    try:
+        with tempfile.TemporaryDirectory() as record_dir:
+            plain_seconds, plain_report, _ = best_of_three(None)
+            recorded_seconds, recorded_report, event_count = best_of_three(
+                record_dir
+            )
+    finally:
+        if was_enabled:
+            obs.enable()
+    plain = plain_report.to_dict()
+    recorded = recorded_report.to_dict()
+    plain.pop("elapsed_seconds")
+    recorded.pop("elapsed_seconds")
+    bit_identical = (
+        plain == recorded
+        and plain_report.hit_rate_series == recorded_report.hit_rate_series
+        and plain_report.index_size_series
+        == recorded_report.index_size_series
+    )
+    return {
+        "scenario": "live_overhead",
+        "num_peers": scenario.num_peers,
+        "duration_rounds": duration,
+        "plain_seconds": plain_seconds,
+        "recorded_seconds": recorded_seconds,
+        "overhead": (
+            recorded_seconds / plain_seconds
+            if plain_seconds > 0
+            else float("inf")
+        ),
+        "bit_identical": bit_identical,
+        "events": event_count,
+        "peak_rss_bytes": obs.peak_rss_bytes(),
+    }
+
+
 #: Default peer count of the standing scale scenario (override with
 #: ``REPRO_BENCH_SCALE_PEERS`` for quick local runs); ``REPRO_BENCH_XL=1``
 #: adds a short 10^8-peer slim-precision smoke on top.
@@ -748,6 +838,19 @@ def enforce(payload: dict[str, object]) -> list[str]:
             f"{observed['disabled_seconds']:.3f}s -> "
             f"{observed['enabled_seconds']:.3f}s"
         )
+    live = payload["live_record"]
+    if not live["bit_identical"]:
+        violations.append(
+            "flight-recorder-enabled kernel run diverged from the plain "
+            "telemetry run (the recorder must never touch an RNG stream)"
+        )
+    if live["overhead"] > LIVE_OVERHEAD_CEILING:
+        violations.append(
+            f"flight-recorder overhead {live['overhead']:.3f}x the plain "
+            f"telemetry wall-clock (> {LIVE_OVERHEAD_CEILING}x): "
+            f"{live['plain_seconds']:.3f}s -> "
+            f"{live['recorded_seconds']:.3f}s"
+        )
     return violations
 
 
@@ -770,10 +873,12 @@ def _render(records: list[dict[str, object]]) -> str:
 
 
 def run_benchmark() -> dict[str, object]:
-    # The overhead record measures its own enabled/disabled pairing, so
-    # it runs first, before telemetry is switched on for the rest of the
-    # benchmark (whose merged profile feeds the telemetry_record).
+    # The overhead records measure their own enabled/disabled (and
+    # recorded/plain) pairings, so they run first, before telemetry is
+    # switched on for the rest of the benchmark (whose merged profile
+    # feeds the telemetry_record).
     obs_record = _obs_overhead_record()
+    live_record = _live_overhead_record()
     was_enabled = obs.enabled()
     collector = obs.Collector()
     previous = obs.set_collector(collector)
@@ -820,6 +925,7 @@ def run_benchmark() -> dict[str, object]:
         "shm_record": shm_record,
         "scale_record": scale_record,
         "obs_record": obs_record,
+        "live_record": live_record,
         "telemetry_record": telemetry_record,
     }
     JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")

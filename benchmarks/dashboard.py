@@ -145,6 +145,13 @@ _CHARTS = [
         (1.02, "gate: <= 1.02x"),
     ),
     (
+        "live",
+        "Flight-recorder overhead (recorded / plain telemetry)",
+        "x",
+        [("overhead", lambda r: _get(r, "live_overhead"))],
+        (1.02, "gate: <= 1.02x"),
+    ),
+    (
         "store",
         "Artifact store: resumed sweep",
         "s",
@@ -531,6 +538,7 @@ def build_dashboard(records: list[dict[str, object]]) -> str:
         ("drift x", "x", lambda r: _get(r, "workloads_slowdown")),
         ("jobs x", "x", lambda r: _get(r, "jobs_speedup")),
         ("obs x", "x", lambda r: _get(r, "obs_overhead")),
+        ("live x", "x", lambda r: _get(r, "live_overhead")),
         ("calib [s]", "s", lambda r: _get(r, "calibration_seconds")),
         ("peak RSS", "MiB", lambda r: _get(r, "peak_rss_bytes")),
     ]

@@ -26,6 +26,8 @@ builder is tolerant of older payloads that predate a given record)::
     jobs_workers, jobs_cpus   pool size and runner CPU count
     obs_overhead              telemetry-enabled / disabled wall-clock
     obs_bit_identical         seeded parity with telemetry on
+    live_overhead             flight-recorder / plain-telemetry wall-clock
+    live_bit_identical        seeded parity with the recorder on
     store_hit_rate            resumed-sweep artifact-store hit rate
     resume_seconds            resumed-sweep wall-clock (vs cold)
     shm_payload_ratio         pickle payload shrink factor with shared
@@ -171,6 +173,11 @@ def build_record(
         record["obs_overhead"] = observed["overhead"]
         record["obs_bit_identical"] = observed.get("bit_identical")
 
+    live = payload.get("live_record") or {}
+    if live.get("overhead") is not None:
+        record["live_overhead"] = live["overhead"]
+        record["live_bit_identical"] = live.get("bit_identical")
+
     stored = payload.get("store_record") or {}
     if stored.get("store_hit_rate") is not None:
         record["store_hit_rate"] = stored["store_hit_rate"]
@@ -197,7 +204,9 @@ def build_record(
         record["calibration_seconds"] = telemetry["calibration_seconds"]
 
     peak = 0
-    for source in [telemetry, observed, jobs, workloads, shm, scale, *records]:
+    for source in [
+        telemetry, observed, live, jobs, workloads, shm, scale, *records
+    ]:
         if isinstance(source, dict):
             value = source.get("peak_rss_bytes")
             if isinstance(value, (int, float)):

@@ -93,7 +93,7 @@ from repro.fastsim import (
 from repro.errors import ReproError
 from repro.workloads import WorkloadModel, model_from_name
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 from repro.experiments.api import (  # noqa: E402
     ExperimentResult,

@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Callable, Iterator, Mapping, Optional
 
 from repro import obs
+from repro.obs import events as obs_events
 from repro.obs.clock import perf_counter
 from repro.analysis.parameters import ScenarioParameters
 from repro.errors import CapabilityError, ParameterError
@@ -622,28 +623,42 @@ def _execute(
                     )
         pending = [i for i, fig in enumerate(figures_by_seed) if fig is None]
         workers = _resolve_worker_count(ctx.jobs)
+        done = len(contexts) - len(pending)
+        obs.progress("experiment.replicates", done, total=len(contexts))
         if workers > 1 and len(pending) > 1:
             from concurrent.futures import ProcessPoolExecutor
 
             collect = obs.enabled()
+            record = collect and obs_events.recording()
             with ProcessPoolExecutor(
                 max_workers=min(workers, len(pending))
             ) as pool:
-                outcomes = list(
+                # Results land per completion (submission order):
+                # snapshots merge re-rooted under the caller's current
+                # span path (experiment.run), matching the sequential
+                # loop's nesting, and worker events re-emit as remote so
+                # a live trace shows per-replicate lanes.
+                for index, (fig, snapshot, worker_events) in zip(
+                    pending,
                     pool.map(
                         _build_in_context_telemetry,
-                        [(contexts[i], collect) for i in pending],
+                        [(contexts[i], collect, record) for i in pending],
+                    ),
+                ):
+                    figures_by_seed[index] = fig
+                    obs.merge_snapshot(snapshot)
+                    obs_events.emit_remote(worker_events)
+                    done += 1
+                    obs.progress(
+                        "experiment.replicates", done, total=len(contexts)
                     )
-                )
-            for index, (fig, _) in zip(pending, outcomes):
-                figures_by_seed[index] = fig
-            # Re-rooted under the caller's current span path
-            # (experiment.run), matching the sequential loop's nesting.
-            for _, snapshot in outcomes:
-                obs.merge_snapshot(snapshot)
         else:
             for index in pending:
                 figures_by_seed[index] = _build_in_context(contexts[index])
+                done += 1
+                obs.progress(
+                    "experiment.replicates", done, total=len(contexts)
+                )
         if store is not None and pending:
             import json
 
@@ -705,25 +720,37 @@ def _build_in_context(ctx: ExperimentContext) -> FigureSeries:
 
 
 def _build_in_context_telemetry(
-    payload: tuple["ExperimentContext", bool],
-) -> tuple[FigureSeries, Optional[dict[str, object]]]:
+    payload: tuple["ExperimentContext", bool, bool],
+) -> tuple[
+    FigureSeries,
+    Optional[dict[str, object]],
+    Optional[list[dict[str, object]]],
+]:
     """Replicate-worker entry: builds the figure and ships telemetry back.
 
-    The collection flag travels with the payload (spawned workers do not
-    inherit the parent's module state); each replicate records into its
-    own scoped collector so reused pool workers never leak one seed's
-    spans into another's snapshot.
+    The collection/record flags travel with the payload (spawned workers
+    do not inherit the parent's module state); each replicate records
+    into its own scoped collector so reused pool workers never leak one
+    seed's spans into another's snapshot. Flight-recorder events go to a
+    per-replicate ring shipped back by value — the sink is replaced
+    unconditionally because ``fork``-started workers inherit the
+    parent's sink (shared file descriptor, parent pid stamp).
     """
-    ctx, collect = payload
-    if not collect:
-        return _build_in_context(ctx), None
-    obs.enable()
-    obs.reset_span_stack()
-    with obs.scoped(merge_into_parent=False) as local:
-        figure = _build_in_context(ctx)
-        obs.sample_peak_rss("worker")
-        snapshot = local.snapshot()
-    return figure, snapshot
+    ctx, collect, record = payload
+    sink = obs_events.RingBufferSink() if record else None
+    obs_events.set_sink(sink)
+    try:
+        if not collect:
+            return _build_in_context(ctx), None, None
+        obs.enable()
+        obs.reset_span_stack()
+        with obs.scoped(merge_into_parent=False) as local:
+            figure = _build_in_context(ctx)
+            obs.sample_peak_rss("worker")
+            snapshot = local.snapshot()
+        return figure, snapshot, sink.events() if sink else None
+    finally:
+        obs_events.set_sink(None)
 
 
 #: Confidence level of the ``replicates=N`` aggregation.

@@ -39,6 +39,16 @@ run: every result carries its merged span/counter/gauge snapshot in the
 per-experiment profile tree is printed to **stderr** so it composes with
 piped/redirected stdout output.
 
+The live flags attach the flight recorder (:mod:`repro.obs.events`) for
+the run — each implies ``--profile``'s collection: ``--progress``
+renders per-unit progress lines (sweep cells, replicate seeds, kernel
+round heartbeats) with ETA to **stderr**; ``--trace-out PATH`` writes a
+Perfetto-loadable Chrome trace with one lane per worker process;
+``--metrics-out PATH`` writes an OpenMetrics text snapshot of all
+counters/gauges; ``--events-out PATH`` streams the raw event JSONL
+(crash-safe: a killed run keeps everything recorded so far). Trace and
+metrics files are written even when the run is interrupted.
+
 The pre-registry ``EXPERIMENTS`` dict shim is gone; use
 :func:`repro.experiments.api.run` and the registry.
 """
@@ -49,6 +59,7 @@ import argparse
 import sys
 
 from repro import obs
+from repro.obs import events as obs_events
 from repro.errors import CapabilityError, ReproError
 from repro.experiments.api import (
     ExperimentResult,
@@ -208,6 +219,33 @@ def main(argv: list[str] | None = None) -> int:
         "stderr per experiment and embed the snapshot in JSON results",
     )
     parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render live progress lines (sweep cells, replicate seeds, "
+        "kernel heartbeats) with ETA to stderr; stdout stays parseable",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace-event JSON of the run (one lane per "
+        "worker process; load it in Perfetto or chrome://tracing)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write an OpenMetrics text snapshot of the run's "
+        "counters and gauges",
+    )
+    parser.add_argument(
+        "--events-out",
+        metavar="PATH",
+        default=None,
+        help="stream raw flight-recorder events to PATH as JSONL "
+        "(append; crash-safe, readable mid-run)",
+    )
+    parser.add_argument(
         "--format",
         choices=FORMATS,
         default="text",
@@ -257,10 +295,35 @@ def main(argv: list[str] | None = None) -> int:
     }
     # --profile turns collection on for the run and restores the prior
     # state afterwards (the flag must not leak into in-process callers,
-    # e.g. the test suite invoking main() directly).
+    # e.g. the test suite invoking main() directly). The live flags need
+    # the same collection (span/counter events are emitted from the
+    # collector's recording paths), so each implies it.
+    live = bool(
+        args.progress or args.trace_out or args.metrics_out
+        or args.events_out
+    )
     profile_was_enabled = obs.enabled()
-    if args.profile:
+    if args.profile or live:
         obs.enable()
+    # The export ring feeds --trace-out/--metrics-out after the run;
+    # --events-out streams to disk as it happens; --progress renders to
+    # stderr. All active sinks see the same stream via a tee.
+    ring: obs_events.RingBufferSink | None = None
+    events_sink: obs_events.JsonlSink | None = None
+    previous_sink: obs_events.EventSink | None = None
+    if live:
+        sinks: list[obs_events.EventSink] = []
+        if args.trace_out or args.metrics_out:
+            ring = obs_events.RingBufferSink()
+            sinks.append(ring)
+        if args.events_out:
+            events_sink = obs_events.JsonlSink(args.events_out)
+            sinks.append(events_sink)
+        if args.progress:
+            sinks.append(obs.ProgressRenderer(sys.stderr))
+        previous_sink = obs_events.set_sink(
+            sinks[0] if len(sinks) == 1 else obs_events.TeeSink(*sinks)
+        )
     try:
         for name in names:
             spec = get_spec(name)
@@ -292,7 +355,30 @@ def main(argv: list[str] | None = None) -> int:
                 )
         return 0
     finally:
-        if args.profile and not profile_was_enabled:
+        # Exports run in the finally so an interrupted run (^C mid-sweep)
+        # still leaves a loadable trace/metrics file of everything that
+        # happened before the signal.
+        if live:
+            obs_events.set_sink(previous_sink)
+            if events_sink is not None:
+                events_sink.close()
+            if ring is not None:
+                recorded = ring.events()
+                if args.trace_out:
+                    import json
+
+                    with open(
+                        args.trace_out, "w", encoding="utf-8"
+                    ) as handle:
+                        json.dump(obs.chrome_trace(recorded), handle)
+                    print(f"wrote {args.trace_out}", file=sys.stderr)
+                if args.metrics_out:
+                    with open(
+                        args.metrics_out, "w", encoding="utf-8"
+                    ) as handle:
+                        handle.write(obs.openmetrics_text(recorded))
+                    print(f"wrote {args.metrics_out}", file=sys.stderr)
+        if (args.profile or live) and not profile_was_enabled:
             obs.disable()
 
 

@@ -231,9 +231,11 @@ def sweep_grid(
             )
         )
     with obs.span("sweep.grid", cells=len(grid_jobs), jobs=jobs):
+        obs.progress("sweep.cells", 0, total=len(grid_jobs))
         reports = run_many(
             grid_jobs, workers=jobs, shared_memory=shared_memory
         )
+        obs.progress("sweep.cells", len(reports), total=len(grid_jobs))
     if obs.enabled():
         # Per-cell timing from the reports themselves: this works for
         # any ``jobs`` value (pool workers already measured themselves)

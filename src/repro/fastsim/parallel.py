@@ -32,6 +32,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Optional, Sequence
 
 from repro import obs
+from repro.obs import events as obs_events
 from repro.analysis.parameters import ScenarioParameters
 from repro.analysis.zipf import ZipfDistribution
 from repro.errors import ParameterError
@@ -222,8 +223,10 @@ def _run_job(job: FastSimJob) -> FastSimReport:
 
 
 def _run_shared_job(
-    payload: tuple[FastSimJob, bool],
-) -> tuple[FastSimReport, Optional[dict[str, Any]]]:
+    payload: tuple[FastSimJob, bool, bool],
+) -> tuple[
+    FastSimReport, Optional[dict[str, Any]], Optional[list[dict[str, Any]]]
+]:
     """Worker entry for shared-memory payloads: attach, then run.
 
     The job arrives with :class:`~repro.fastsim.shm.SharedArrayRef`
@@ -232,33 +235,44 @@ def _run_shared_job(
     as read-only views (cached per worker process, so a reused pool
     worker attaches each segment once).
     """
-    job, telemetry = payload
+    job, telemetry, record = payload
     job = replace(job, workload=shm.restore_arrays(job.workload))
-    return _run_job_telemetry((job, telemetry))
+    return _run_job_telemetry((job, telemetry, record))
 
 
 def _run_job_telemetry(
-    payload: tuple[FastSimJob, bool],
-) -> tuple[FastSimReport, Optional[dict[str, Any]]]:
+    payload: tuple[FastSimJob, bool, bool],
+) -> tuple[
+    FastSimReport, Optional[dict[str, Any]], Optional[list[dict[str, Any]]]
+]:
     """Worker entry point that ships the job's telemetry back with it.
 
-    The enabled flag travels with the payload because pool workers are
-    fresh processes (spawn) that do not inherit the parent's module
-    state. Each job records into its own scoped collector — pool workers
-    are *reused* across jobs, so recording into the worker's global
-    collector would leak one job's spans into the next job's snapshot
-    and double-count on merge.
+    The enabled/record flags travel with the payload because pool
+    workers may be fresh processes (spawn) that do not inherit the
+    parent's module state. Each job records into its own scoped
+    collector — pool workers are *reused* across jobs, so recording into
+    the worker's global collector would leak one job's spans into the
+    next job's snapshot and double-count on merge. Flight-recorder
+    events likewise go to a per-job ring shipped back by value; the sink
+    is replaced *unconditionally* because ``fork``-started workers
+    inherit the parent's sink (shared file descriptor, parent pid
+    stamp), and the first heartbeat would otherwise write through it.
     """
-    job, telemetry = payload
-    if not telemetry:
-        return job.run(), None
-    obs.enable()
-    obs.reset_span_stack()
-    with obs.scoped(merge_into_parent=False) as local:
-        report = job.run()
-        obs.sample_peak_rss("worker")
-        snapshot = local.snapshot()
-    return report, snapshot
+    job, telemetry, record = payload
+    sink = obs_events.RingBufferSink() if record else None
+    obs_events.set_sink(sink)
+    try:
+        if not telemetry:
+            return job.run(), None, None
+        obs.enable()
+        obs.reset_span_stack()
+        with obs.scoped(merge_into_parent=False) as local:
+            report = job.run()
+            obs.sample_peak_rss("worker")
+            snapshot = local.snapshot()
+        return report, snapshot, sink.events() if sink else None
+    finally:
+        obs_events.set_sink(None)
 
 
 def run_many(
@@ -304,6 +318,14 @@ def run_many(
     into the parent's collector — one profile for the whole fan-out,
     including per-worker peak-RSS gauges. Merging is duplicate-safe, so
     the fold is insensitive to delivery order.
+
+    When a flight-recorder sink is also installed
+    (:func:`repro.obs.events.set_sink`), the fan-out reports
+    ``parallel.jobs`` progress per completed job and each worker ships
+    its own event ring back with the result; the parent re-emits those
+    events marked ``remote`` so trace exports get per-worker lanes while
+    replay still counts each measurement exactly once (via the snapshot
+    merge).
     """
     workers = resolve_worker_count(workers)
     resolved = resolve_jobs(jobs)
@@ -326,6 +348,7 @@ def run_many(
         if store is not None:
             store.save_report(keys[index] or job_key(resolved[index]), report)
 
+    done = len(resolved) - len(pending)
     if workers == 1 or len(pending) <= 1:
         with obs.span(
             "parallel.run_many",
@@ -333,12 +356,16 @@ def run_many(
             cached=len(resolved) - len(pending),
             workers=1,
         ):
+            obs.progress("parallel.jobs", done, total=len(resolved))
             for index in pending:
                 _finish(index, resolved[index].run())
+                done += 1
+                obs.progress("parallel.jobs", done, total=len(resolved))
         if telemetry:
             obs.sample_peak_rss("worker")
         return reports  # type: ignore[return-value]
     entry = _run_job_telemetry
+    record = telemetry and obs_events.recording()
     shipped: list[FastSimJob] = [resolved[i] for i in pending]
     arena: Optional[shm.ShmArena] = None
     if shared_memory:
@@ -353,21 +380,30 @@ def run_many(
             workers=min(workers, len(pending)),
             shared_memory=bool(shared_memory),
         ):
+            obs.progress("parallel.jobs", done, total=len(resolved))
             with ProcessPoolExecutor(
                 max_workers=min(workers, len(pending))
             ) as pool:
-                outcomes = list(
+                # ``pool.map`` yields each result as it lands (submission
+                # order), so progress/merge/remote-event handling happens
+                # per completion — a live renderer ticks per job instead
+                # of jumping 0 -> all at pool shutdown. Merging inside
+                # the span re-roots worker spans under it: the pooled
+                # profile nests exactly like the sequential one.
+                for index, (report, snapshot, worker_events) in zip(
+                    pending,
                     pool.map(
                         entry,
-                        [(job, telemetry) for job in shipped],
+                        [(job, telemetry, record) for job in shipped],
+                    ),
+                ):
+                    _finish(index, report)
+                    obs.merge_snapshot(snapshot)
+                    obs_events.emit_remote(worker_events)
+                    done += 1
+                    obs.progress(
+                        "parallel.jobs", done, total=len(resolved)
                     )
-                )
-            for index, (report, _) in zip(pending, outcomes):
-                _finish(index, report)
-            # Merge inside the span so worker spans re-root under it: the
-            # pooled profile nests exactly like the sequential one.
-            for _, snapshot in outcomes:
-                obs.merge_snapshot(snapshot)
     finally:
         if arena is not None:
             arena.close()

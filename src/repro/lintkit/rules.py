@@ -637,7 +637,10 @@ class SpanNaming(Rule):
     span-stack path separator) silently falls out of every aggregation
     that prefixes-matches on ``cache.`` or ``kernel.``. The same
     convention covers ``counted_cache`` names, which become
-    ``cache.<name>.*`` counters.
+    ``cache.<name>.*`` counters, and the flight recorder's
+    ``progress``/``heartbeat`` names, which land in event streams and
+    OpenMetrics exports keyed the same way (neither takes a slash:
+    progress units are leaf names, never span paths).
     """
 
     id = "RL107"
@@ -649,7 +652,19 @@ class SpanNaming(Rule):
     ok_example = "with obs.span(\"calibrate.churn\", peers=5000): ..."
     bad_example = "with obs.span(\"Calibrate Churn!\"): ..."
 
-    _API = frozenset({"span", "count", "gauge_max", "add_duration"})
+    _API = frozenset(
+        {
+            "span",
+            "count",
+            "gauge_max",
+            "add_duration",
+            "progress",
+            "heartbeat",
+        }
+    )
+    #: APIs whose names are leaf identifiers, never span-stack paths —
+    #: a ``/`` in these is a naming bug, not nesting.
+    _NO_SLASH = frozenset({"counted_cache", "progress", "heartbeat"})
     _SEGMENT = re.compile(r"[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*\Z")
 
     def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
@@ -692,9 +707,10 @@ class SpanNaming(Rule):
                 api_name = "counted_cache"
         if api_name is None:
             return None
+        allow_slash = api_name not in self._NO_SLASH
         if node.args:
-            return node.args[0], api_name != "counted_cache"
+            return node.args[0], allow_slash
         for keyword in node.keywords:
             if keyword.arg == "name":
-                return keyword.value, api_name != "counted_cache"
+                return keyword.value, allow_slash
         return None

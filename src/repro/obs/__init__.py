@@ -20,6 +20,14 @@ the parent merges them (order-independent, duplicate-safe) so a parallel
 sweep reports a single profile. ``ExperimentResult.telemetry`` and the
 runner's ``--profile`` flag surface the same data; ``benchmarks/record.py``
 persists the trajectory.
+
+The *live* half is the flight recorder (:mod:`repro.obs.events`): install
+a sink (``events.set_sink`` / ``REPRO_OBS_EVENTS=path``) and every
+recording above is also streamed as a structured event the moment it
+happens, plus :func:`progress` / :func:`heartbeat` reports with totals
+and ETA. :mod:`repro.obs.export` turns a recorded stream back into a
+snapshot (:func:`replay`), a Perfetto-loadable Chrome trace
+(:func:`chrome_trace`), or OpenMetrics text (:func:`openmetrics_text`).
 """
 
 from repro.obs.collector import (
@@ -41,7 +49,15 @@ from repro.obs.collector import (
     span,
 )
 from repro.obs.cache import cache_stats, counted_cache
+from repro.obs.export import (
+    chrome_trace,
+    openmetrics_text,
+    parse_openmetrics,
+    replay,
+)
 from repro.obs.profile import profile_data, profile_json, profile_text
+from repro.obs.progress import ProgressRenderer, heartbeat, progress
+from repro.obs import events
 
 __all__ = [
     "cache_stats",
@@ -65,4 +81,12 @@ __all__ = [
     "profile_data",
     "profile_text",
     "profile_json",
+    "events",
+    "progress",
+    "heartbeat",
+    "ProgressRenderer",
+    "replay",
+    "chrome_trace",
+    "openmetrics_text",
+    "parse_openmetrics",
 ]

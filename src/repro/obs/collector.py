@@ -39,6 +39,8 @@ import uuid
 from contextlib import contextmanager
 from typing import Any, Iterator, Optional
 
+from repro.obs import events as _events
+
 __all__ = [
     "Collector",
     "enabled",
@@ -310,6 +312,10 @@ class _Span:
         stack = _stack()
         stack.append(self._name)
         self._path = "/".join(stack)
+        if _events._sink is not None:
+            _events.emit_event(
+                "span_start", path=self._path, attrs=self._attrs
+            )
         self._started = time.perf_counter()
         return self
 
@@ -319,6 +325,13 @@ class _Span:
         if stack and stack[-1] == self._name:
             stack.pop()
         _collector.record_span(self._path, elapsed, self._attrs)
+        if _events._sink is not None:
+            _events.emit_event(
+                "span_end",
+                path=self._path,
+                seconds=elapsed,
+                attrs=self._attrs,
+            )
         return False
 
 
@@ -353,12 +366,16 @@ def count(name: str, n: float = 1) -> None:
     """Increment counter ``name`` (no-op while disabled)."""
     if _enabled:
         _collector.count(name, n)
+        if _events._sink is not None:
+            _events.emit_event("counter", name=name, n=n)
 
 
 def gauge_max(name: str, value: float) -> None:
     """Record a high-water-mark gauge (no-op while disabled)."""
     if _enabled:
         _collector.gauge_max(name, value)
+        if _events._sink is not None:
+            _events.emit_event("gauge", name=name, value=float(value))
 
 
 def merge_snapshot(snapshot: Optional[dict]) -> bool:
@@ -373,7 +390,13 @@ def merge_snapshot(snapshot: Optional[dict]) -> bool:
     """
     if not _enabled:
         return False
-    return _collector.merge(snapshot, prefix="/".join(_stack()))
+    prefix = "/".join(_stack())
+    merged = _collector.merge(snapshot, prefix=prefix)
+    if merged and _events._sink is not None:
+        # The merge event carries the full snapshot so replay can apply
+        # the exact same duplicate-safe Collector.merge the live run did.
+        _events.emit_event("merge", prefix=prefix, snapshot=snapshot)
+    return merged
 
 
 def add_duration(name: str, seconds: float, n: int = 1) -> None:
@@ -388,6 +411,8 @@ def add_duration(name: str, seconds: float, n: int = 1) -> None:
     stack = _stack()
     path = "/".join((*stack, name)) if stack else name
     _collector.add_duration(path, seconds, n)
+    if _events._sink is not None:
+        _events.emit_event("duration", path=path, seconds=seconds, n=n)
 
 
 # ---------------------------------------------------------------------
@@ -418,7 +443,7 @@ def sample_peak_rss(label: str = "process") -> int:
     """
     peak = peak_rss_bytes()
     if _enabled and peak:
-        _collector.gauge_max(f"{label}.peak_rss_bytes", float(peak))
+        gauge_max(f"{label}.peak_rss_bytes", float(peak))
     return peak
 
 

@@ -501,3 +501,47 @@ class TestSpanNaming:
             "RL107",
         )
         assert hits == []
+
+    def test_bad_progress_name_triggers(self):
+        hits = rule_hits(
+            """
+            from repro import obs
+
+            def report(done):
+                obs.progress("Sweep Cells!", done, total=6)
+            """,
+            "src/repro/experiments/example.py",
+            "RL107",
+        )
+        assert len(hits) == 1
+        assert "segment(.segment)*" in hits[0].message
+
+    def test_slash_in_heartbeat_name_triggers(self):
+        # Progress units are leaf names: a slash is a naming bug, not a
+        # span-stack path, even via the from-import form.
+        hits = rule_hits(
+            """
+            from repro.obs import heartbeat
+
+            def run():
+                beat = heartbeat("kernel/rounds", total=10)
+            """,
+            "src/repro/fastsim/example.py",
+            "RL107",
+        )
+        assert len(hits) == 1
+
+    def test_conventional_progress_names_pass(self):
+        hits = rule_hits(
+            """
+            from repro import obs
+            from repro.obs import heartbeat
+
+            def run(done, total):
+                obs.progress("sweep.cells", done, total=total)
+                beat = heartbeat("kernel.rounds", total=total)
+            """,
+            "src/repro/experiments/example.py",
+            "RL107",
+        )
+        assert hits == []

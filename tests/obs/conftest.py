@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import obs
+from repro.obs import events
 
 
 @pytest.fixture(autouse=True)
@@ -12,16 +13,18 @@ def clean_obs():
     """Fresh disabled collector per test; prior state restored after.
 
     Telemetry state is process-global (that is the point of the module),
-    so tests must not leak an enabled flag or recorded data into the rest
-    of the suite.
+    so tests must not leak an enabled flag, recorded data, or an
+    installed flight-recorder sink into the rest of the suite.
     """
     was_enabled = obs.enabled()
     previous = obs.set_collector(obs.Collector())
+    previous_sink = events.set_sink(None)
     obs.disable()
     obs.reset_span_stack()
     yield
     obs.reset_span_stack()
     obs.set_collector(previous)
+    events.set_sink(previous_sink)
     if was_enabled:
         obs.enable()
     else:
